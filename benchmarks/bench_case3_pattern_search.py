@@ -1,0 +1,93 @@
+"""Case study 3: binary search for the counter-productive pattern.
+
+The paper: over 100 StableHLO patterns, one ("fold reshape/transpose
+into full reduce") is end-to-end counter-productive (up to 9% penalty)
+because it destroys a fusion barrier. Each binary-search iteration via
+the Transform dialect takes ~4 s instead of the ~10-minute C++ rebuild
+(31 s link + 164 s packaging + compilation on a 4x24-core Xeon).
+"""
+
+import pytest
+
+from repro.enzyme import (
+    ALL_PATTERN_NAMES,
+    CULPRIT_PATTERN,
+    build_llm_block_module,
+    evaluate_pattern_set,
+    find_counterproductive_pattern,
+)
+
+#: The paper's C++ baseline per iteration: compile + 31 s link + 164 s
+#: compressed packaging, "up to 10 minutes" overall.
+PAPER_CPP_REBUILD_SECONDS = 600.0
+PAPER_TRANSFORM_SECONDS = 4.0
+
+
+def payload():
+    return build_llm_block_module()
+
+
+def test_case3_pattern_count(benchmark):
+    assert len(ALL_PATTERN_NAMES) > 100
+    print(f"\npattern set: {len(ALL_PATTERN_NAMES)} patterns "
+          "(paper: 'over 100')")
+    benchmark(lambda: len(ALL_PATTERN_NAMES))
+
+
+def test_case3_culprit_effect(benchmark):
+    """End-to-end effect of the pattern set, with/without the culprit."""
+
+    def measure():
+        none = evaluate_pattern_set(payload, [])
+        good = evaluate_pattern_set(
+            payload,
+            [n for n in ALL_PATTERN_NAMES if n != CULPRIT_PATTERN],
+        )
+        full = evaluate_pattern_set(payload, ALL_PATTERN_NAMES)
+        return none, good, full
+
+    none, good, full = benchmark.pedantic(measure, rounds=1,
+                                          iterations=1)
+    penalty = (full.modelled_seconds / good.modelled_seconds - 1) * 100
+    improvement = (none.modelled_seconds / good.modelled_seconds - 1) * 100
+    print(f"\nmodelled runtimes: no patterns "
+          f"{none.modelled_seconds * 1e3:.2f} ms | all-minus-culprit "
+          f"{good.modelled_seconds * 1e3:.2f} ms | all patterns "
+          f"{full.modelled_seconds * 1e3:.2f} ms")
+    print(f"pattern set helps by {improvement:.1f}%; the culprit costs "
+          f"{penalty:.1f}% (paper: up to 9%)")
+    assert good.modelled_seconds < none.modelled_seconds
+    assert 3.0 < penalty < 20.0
+    benchmark.extra_info["culprit_penalty_pct"] = round(penalty, 2)
+
+
+def test_case3_per_iteration_compile_time(benchmark):
+    """One search iteration = re-interpreting the pattern script."""
+    iteration = benchmark(
+        evaluate_pattern_set, payload, ALL_PATTERN_NAMES
+    )
+    assert iteration.compile_seconds < PAPER_TRANSFORM_SECONDS
+    speedup_vs_rebuild = (
+        PAPER_CPP_REBUILD_SECONDS / max(iteration.compile_seconds, 1e-9)
+    )
+    print(f"\nper-iteration compilation: "
+          f"{iteration.compile_seconds * 1e3:.1f} ms via transform "
+          f"script (paper C++ rebuild: ~{PAPER_CPP_REBUILD_SECONDS:.0f} s"
+          f" -> {speedup_vs_rebuild:.0f}x faster iteration)")
+
+
+def test_case3_binary_search_finds_culprit(benchmark):
+    result = benchmark.pedantic(
+        find_counterproductive_pattern,
+        args=(payload, ALL_PATTERN_NAMES),
+        rounds=1, iterations=1,
+    )
+    assert result.culprit == CULPRIT_PATTERN
+    total = result.total_compile_seconds
+    paper_total = PAPER_CPP_REBUILD_SECONDS * len(result.iterations)
+    print(f"\nbinary search: culprit = '{result.culprit}' found in "
+          f"{len(result.iterations)} iterations, total compile time "
+          f"{total:.2f} s (C++-rebuild equivalent: ~{paper_total / 60:.0f}"
+          " minutes)")
+    benchmark.extra_info["culprit"] = result.culprit
+    benchmark.extra_info["iterations"] = len(result.iterations)

@@ -1,0 +1,124 @@
+"""Table 1 + Fig. 6: compile-time overhead of transform-driven pipelines.
+
+The identical TOSA->Linalg pipeline runs once through the native pass
+manager and once as a transform script using
+``transform.apply_registered_pass`` — the paper's worst case for the
+Transform dialect (pure overhead, none of its features used). The
+paper reports <= 2.6% overhead; we assert a small-single-digit bound
+with headroom for timer noise on small models.
+"""
+
+import gc
+import statistics
+import time
+
+import pytest
+
+from repro.core import TransformInterpreter, pipeline_to_transform_script
+from repro.mlmodels import MODEL_SPECS, build_model, count_ops
+from repro.passes import PassManager
+from repro.passes.tosa_pipeline import TOSA_TO_LINALG_PIPELINE
+
+#: Table-1 rows: model -> (paper op count, paper MLIR ms, paper Transform ms)
+PAPER_ROWS = {
+    "squeezenet": (126, 16.6, 16.9),
+    "gpt2": (2861, 185.4, 190.0),
+    "mobilebert": (4134, 316.7, 317.7),
+    "whisper_decoder": (847, 457.5, 462.3),
+    "bert_base": (1182, 1315.3, 1348.6),
+}
+
+#: Models benchmarked through pytest-benchmark (full set incl. the
+#: largest ones; each compile is O(seconds) at most).
+MODELS = ["squeezenet", "whisper_decoder", "bert_base", "gpt2",
+          "mobilebert"]
+
+
+def compile_native(name):
+    module = build_model(name)
+    PassManager(list(TOSA_TO_LINALG_PIPELINE)).run(module)
+    return module
+
+
+def compile_via_transform(name):
+    module = build_model(name)
+    script = pipeline_to_transform_script(list(TOSA_TO_LINALG_PIPELINE))
+    TransformInterpreter().apply(script, module)
+    return module
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table1_native_pipeline(benchmark, model):
+    module = benchmark(compile_native, model)
+    assert count_ops(module, "tosa.") == 0
+    benchmark.extra_info["model"] = model
+    benchmark.extra_info["paper_ops"] = PAPER_ROWS[model][0]
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_table1_transform_pipeline(benchmark, model):
+    module = benchmark(compile_via_transform, model)
+    assert count_ops(module, "tosa.") == 0
+    benchmark.extra_info["model"] = model
+
+
+def _timed(fn):
+    """One sample with a clean heap: collect first, GC stays enabled so
+    collector pauses hit both modes alike."""
+    gc.collect()
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _measure_model(model, pairs):
+    """Interleave (native, transform) samples pairwise and compare the
+    *minimum* of each side: timing noise (scheduler, allocator, GC) is
+    strictly additive, so best-of-N is the standard estimator for the
+    true cost and is robust to one contended sample poisoning a small
+    median."""
+    natives, transforms = [], []
+    for _ in range(pairs):
+        natives.append(_timed(lambda: compile_native(model)))
+        transforms.append(_timed(lambda: compile_via_transform(model)))
+    best_native = min(natives)
+    best_transform = min(transforms)
+    return (
+        best_native,
+        best_transform,
+        (best_transform / best_native - 1.0) * 100.0,
+    )
+
+
+def test_table1_overhead_summary(benchmark):
+    """Regenerate the full Table-1 rows and assert the overhead bound."""
+    rows = []
+    for model in MODELS:
+        pairs = 7 if MODEL_SPECS[model].n_ops < 2000 else 4
+        native, transformed, overhead = _measure_model(model, pairs)
+        rows.append((model, MODEL_SPECS[model].n_ops, native * 1e3,
+                     transformed * 1e3, overhead))
+
+    print("\nTable 1 — compile time, native pass manager vs Transform")
+    print(f"{'model':17s}{'# ops':>7s}{'MLIR (ms)':>12s}"
+          f"{'Transform (ms)':>16s}{'overhead':>10s}")
+    for model, ops, native_ms, transform_ms, overhead in rows:
+        paper_ops, paper_native, paper_transform = PAPER_ROWS[model]
+        print(f"{model:17s}{ops:7d}{native_ms:12.1f}"
+              f"{transform_ms:16.1f}{overhead:+9.1f}%"
+              f"   (paper: {paper_native:.1f} / {paper_transform:.1f} ms,"
+              f" {(paper_transform / paper_native - 1) * 100:+.1f}%)")
+
+    mean_overhead = sum(row[4] for row in rows) / len(rows)
+    print(f"mean overhead: {mean_overhead:+.2f}% "
+          "(paper: <= 2.6% per model)")
+    # Shape assertion: the interpreter adds only small overhead. Timer
+    # noise on sub-second compiles dominates individual rows, so bound
+    # the mean.
+    assert mean_overhead < 8.0
+    benchmark.extra_info["rows"] = [
+        {"model": r[0], "ops": r[1], "native_ms": round(r[2], 1),
+         "transform_ms": round(r[3], 1), "overhead_pct": round(r[4], 2)}
+        for r in rows
+    ]
+    benchmark(lambda: None)

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only``. Each benchmark prints
+the paper-table rows it regenerates (visible with ``-s``; also recorded
+in ``extra_info`` in the pytest-benchmark table) and asserts the
+qualitative *shape* the paper reports.
+"""
+
+import pytest
+
+import repro.core  # noqa: F401
+import repro.dialects  # noqa: F401
+import repro.passes  # noqa: F401
+
+
+def pytest_configure(config):
+    # Keep benchmark runs short: these compile whole models per round.
+    config.option.benchmark_min_rounds = 3
+    config.option.benchmark_warmup = False

@@ -1,0 +1,17 @@
+// Fig. 8: split the uneven i-loop, tile the divisible part 32x32,
+// try a libxsmm microkernel substitution (empty alternative = keep
+// the loops), fully unroll the remainder.
+// Apply with: python -m repro.tools payload.mlir --script fig8_schedule.mlir
+"transform.sequence"() ({
+^bb0(%0: !transform.any_op):
+  %1 = "transform.match_op"(%0) {names = ["scf.for"], position = "first"} : (!transform.any_op) -> !transform.op<"scf.for">
+  %2, %3 = "transform.loop.split"(%1) {div_by = 32 : i64} : (!transform.op<"scf.for">) -> (!transform.any_op, !transform.any_op)
+  %4, %5 = "transform.loop.tile"(%2) {tile_sizes = [32 : i64, 32 : i64]} : (!transform.any_op) -> (!transform.any_op, !transform.any_op)
+  "transform.alternatives"() ({
+    "transform.to_library"(%5) {library = "libxsmm"} : (!transform.any_op) -> ()
+    "transform.yield"() : () -> ()
+  }, {
+  }) : () -> ()
+  "transform.loop.unroll"(%3) {full = unit} : (!transform.any_op) -> ()
+  "transform.yield"() : () -> ()
+}) : () -> ()

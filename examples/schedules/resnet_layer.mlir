@@ -1,0 +1,30 @@
+// The case-study-4 payload: a 196x256x256 matmul-shaped layer nest.
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%0: memref<196x256xf64>, %1: memref<256x256xf64>, %2: memref<196x256xf64>):
+    %3 = "arith.constant"() {value = 0 : index} : () -> index
+    %4 = "arith.constant"() {value = 1 : index} : () -> index
+    %5 = "arith.constant"() {value = 196 : index} : () -> index
+    %6 = "arith.constant"() {value = 256 : index} : () -> index
+    %7 = "arith.constant"() {value = 256 : index} : () -> index
+    "scf.for"(%3, %5, %4) ({
+    ^bb1(%8: index):
+      "scf.for"(%3, %6, %4) ({
+      ^bb2(%9: index):
+        "scf.for"(%3, %7, %4) ({
+        ^bb3(%10: index):
+          %11 = "memref.load"(%0, %8, %10) : (memref<196x256xf64>, index, index) -> f64
+          %12 = "memref.load"(%1, %10, %9) : (memref<256x256xf64>, index, index) -> f64
+          %13 = "memref.load"(%2, %8, %9) : (memref<196x256xf64>, index, index) -> f64
+          %14 = "arith.mulf"(%11, %12) : (f64, f64) -> f64
+          %15 = "arith.addf"(%13, %14) : (f64, f64) -> f64
+          "memref.store"(%15, %2, %8, %9) : (f64, memref<196x256xf64>, index, index) -> ()
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "scf.yield"() : () -> ()
+      }) : (index, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (memref<196x256xf64>, memref<256x256xf64>, memref<196x256xf64>) -> (), sym_name = "resnet_layer"} : () -> ()
+}) : () -> ()

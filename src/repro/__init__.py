@@ -1,0 +1,19 @@
+"""repro: a Python reproduction of the MLIR Transform dialect (CGO 2025).
+
+The package is organised like the system the paper describes:
+
+* :mod:`repro.ir` — an MLIR-like IR infrastructure built from scratch;
+* :mod:`repro.dialects` — payload dialects (func, arith, scf, memref, ...);
+* :mod:`repro.rewrite` — pattern rewriting and dialect conversion;
+* :mod:`repro.passes` — the pass manager and lowering passes;
+* :mod:`repro.transforms` — fine-grained loop/linalg transformation utilities;
+* :mod:`repro.irdl` — declarative op constraints (IRDL);
+* :mod:`repro.core` — **the Transform dialect**: ops, interpreter, handle
+  invalidation, pre/post-conditions, static checking, script transforms;
+* :mod:`repro.execution` — payload interpreter and performance simulator;
+* :mod:`repro.autotuning` — Bayesian/random autotuners (case study 5);
+* :mod:`repro.enzyme` — the StableHLO pattern-set debugging study (case 3);
+* :mod:`repro.mlmodels` — synthetic ML model graphs (Table 1).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""Autotuning (case study 5): constrained spaces + Bayesian optimization.
+
+A BaCO-style tuner: a constrained parameter space (Fig. 10), random and
+Gaussian-process/expected-improvement search (Fig. 11's performance
+evolution), and the glue that drives *parameterized transform scripts*
+through the interpreter and cost model.
+"""
+
+from .space import Parameter, SearchSpace
+from .tuner import (
+    BayesianTuner,
+    RandomSearchTuner,
+    Trial,
+    TuningResult,
+)
+from .integration import (
+    TransformTuningProblem,
+    case_study_5_problem,
+    tune_transform_script,
+)
+
+__all__ = [
+    "BayesianTuner",
+    "Parameter",
+    "RandomSearchTuner",
+    "SearchSpace",
+    "TransformTuningProblem",
+    "Trial",
+    "TuningResult",
+    "case_study_5_problem",
+    "tune_transform_script",
+]

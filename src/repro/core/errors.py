@@ -1,0 +1,84 @@
+"""Transform error model: silenceable vs. definite failures (paper §3).
+
+A transform may signal a *silenceable* error (a failed precondition; the
+payload has not been modified irreversibly — recoverable by
+``transform.alternatives``) or a *definite* error (immediately aborts
+interpretation). :class:`TransformResult` mirrors MLIR's
+``DiagnosedSilenceableFailure``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.core import Operation
+
+
+class FailureKind(enum.Enum):
+    SUCCESS = "success"
+    SILENCEABLE = "silenceable"
+    DEFINITE = "definite"
+
+
+@dataclass
+class TransformResult:
+    """Outcome of applying one transform operation."""
+
+    kind: FailureKind
+    message: str = ""
+    #: The transform op that produced the failure (for diagnostics).
+    transform_op: Optional[Operation] = None
+    #: Payload ops involved in the failure, if any.
+    payload_ops: List[Operation] = field(default_factory=list)
+
+    @staticmethod
+    def success() -> "TransformResult":
+        return TransformResult(FailureKind.SUCCESS)
+
+    @staticmethod
+    def silenceable(message: str,
+                    transform_op: Optional[Operation] = None,
+                    payload_ops: Optional[List[Operation]] = None
+                    ) -> "TransformResult":
+        return TransformResult(
+            FailureKind.SILENCEABLE, message, transform_op,
+            payload_ops or [],
+        )
+
+    @staticmethod
+    def definite(message: str,
+                 transform_op: Optional[Operation] = None
+                 ) -> "TransformResult":
+        return TransformResult(FailureKind.DEFINITE, message, transform_op)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.kind is FailureKind.SUCCESS
+
+    @property
+    def is_silenceable(self) -> bool:
+        return self.kind is FailureKind.SILENCEABLE
+
+    @property
+    def is_definite(self) -> bool:
+        return self.kind is FailureKind.DEFINITE
+
+    def __str__(self) -> str:
+        if self.succeeded:
+            return "success"
+        origin = (
+            f" (at '{self.transform_op.name}')"
+            if self.transform_op is not None
+            else ""
+        )
+        return f"{self.kind.value} error: {self.message}{origin}"
+
+
+class TransformInterpreterError(Exception):
+    """Raised when interpretation aborts with a definite error."""
+
+    def __init__(self, result: TransformResult):
+        super().__init__(str(result))
+        self.result = result

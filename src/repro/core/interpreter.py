@@ -1,0 +1,187 @@
+"""The transform interpreter (paper §3).
+
+Walks a transform script top to bottom, maintaining the handle/payload
+association table (:class:`~repro.core.state.TransformState`), dispatching
+each transform op's ``apply`` and processing handle consumption. Errors
+follow the paper's model: *silenceable* errors skip the remainder of the
+current region and bubble to the parent (which may suppress them, as
+``alternatives`` does); *definite* errors abort interpretation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.core import Block, Operation
+from .errors import (
+    FailureKind,
+    TransformInterpreterError,
+    TransformResult,
+)
+from .state import HandleInvalidatedError, TransformState
+
+
+@dataclass
+class InterpreterStats:
+    """Execution statistics (used by the overhead study, Table 1)."""
+
+    transforms_executed: int = 0
+    handles_created: int = 0
+    handles_invalidated: int = 0
+    wall_seconds: float = 0.0
+
+
+class TransformInterpreter:
+    """Executes transform scripts against a payload module."""
+
+    def __init__(self, check_types: bool = True,
+                 track_invalidation: bool = True):
+        self.check_types = check_types
+        #: Ablation knob: disable nested-alias invalidation tracking.
+        self.track_invalidation = track_invalidation
+        self.output: List[str] = []
+        self.stats = InterpreterStats()
+
+    # -- entry points --------------------------------------------------------
+
+    def apply(self, script: Operation, payload: Operation,
+              entry_point: Optional[str] = None) -> TransformResult:
+        """Run ``script`` (a sequence, named sequence, or a module
+        containing one) on ``payload``. Raises
+        :class:`TransformInterpreterError` on definite errors; returns
+        the final :class:`TransformResult` otherwise.
+        """
+        start = time.perf_counter()
+        state = TransformState(payload)
+        entry = self._find_entry(script, entry_point)
+        if entry is None:
+            raise TransformInterpreterError(
+                TransformResult.definite(
+                    "no transform entry point found in script"
+                )
+            )
+        try:
+            if entry.name == "transform.named_sequence":
+                body = entry.regions[0].entry_block
+                if body.args:
+                    state.set_payload(body.args[0], [payload])
+                result = self.run_block(body, state)
+            else:
+                result = self.execute(entry, state)
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - start
+        if result.is_definite:
+            raise TransformInterpreterError(result)
+        return result
+
+    def _find_entry(self, script: Operation,
+                    entry_point: Optional[str]) -> Optional[Operation]:
+        if script.name in ("transform.sequence",
+                           "transform.named_sequence"):
+            return script
+        sequences: List[Operation] = []
+        named: List[Operation] = []
+        for op in script.walk():
+            if op.name == "transform.sequence":
+                sequences.append(op)
+            elif op.name == "transform.named_sequence":
+                named.append(op)
+        if entry_point is not None:
+            for candidate in named:
+                name = candidate.attr("sym_name")
+                if name is not None and name.value == entry_point:  # type: ignore[union-attr]
+                    return candidate
+            return None
+        # Unnamed entry: a transform.sequence wins over named sequences
+        # (which are macro *definitions*, not entry points).
+        if sequences:
+            return sequences[0]
+        return named[0] if named else None
+
+    # -- execution ------------------------------------------------------------
+
+    def run_block(self, block: Block,
+                  state: TransformState) -> TransformResult:
+        """Execute each transform in a block sequentially (paper §3).
+
+        A silenceable error skips the remainder of the block and is
+        returned to the parent transform for handling.
+        """
+        for op in list(block.ops):
+            if op.name == "transform.yield":
+                break
+            result = self.execute(op, state)
+            if not result.succeeded:
+                return result
+        return TransformResult.success()
+
+    def execute(self, op: Operation,
+                state: TransformState) -> TransformResult:
+        from .dialect import TransformOp
+
+        if not isinstance(op, TransformOp):
+            return TransformResult.definite(
+                f"'{op.name}' is not a transform operation", op
+            )
+        if self.check_types:
+            type_error = self._check_operand_types(op, state)
+            if type_error is not None:
+                return type_error
+        try:
+            result = op.apply(self, state)
+        except HandleInvalidatedError as error:
+            return TransformResult.definite(str(error), op)
+        self.stats.transforms_executed += 1
+        self.stats.handles_created += len(op.results)
+        if result.succeeded:
+            self._process_consumption(op, state)
+        return result
+
+    def _process_consumption(self, op: Operation,
+                             state: TransformState) -> None:
+        """Invalidate handles consumed by ``op`` (and their aliases)."""
+        consumed = getattr(type(op), "CONSUMES", ())
+        if not self.track_invalidation:
+            return
+        for index in consumed:
+            if index < op.num_operands:
+                state.invalidate(
+                    op.operand(index), f"'{op.name}' consuming its operand"
+                )
+                self.stats.handles_invalidated += 1
+
+    def _check_operand_types(self, op: Operation,
+                             state: TransformState) -> Optional[TransformResult]:
+        """Handle-type checking: payload op names must satisfy the
+        operand's handle type (the Fig. 1 RHS static typing, enforced
+        dynamically here and statically by the checker)."""
+        from .types import OperationHandleType
+
+        for operand in op.operands:
+            operand_type = operand.type
+            if not isinstance(operand_type, OperationHandleType):
+                continue
+            if state.is_invalidated(operand):
+                continue  # invalidation reported separately on access
+            try:
+                payload = state.get_payload(operand)
+            except HandleInvalidatedError:
+                continue
+            for payload_op in payload:
+                if not operand_type.accepts_op_name(payload_op.name):
+                    return TransformResult.definite(
+                        f"payload op '{payload_op.name}' does not satisfy "
+                        f"handle type {operand_type}",
+                        op,
+                    )
+        return None
+
+
+def apply_transform_script(script: Operation, payload: Operation,
+                           entry_point: Optional[str] = None,
+                           **interpreter_options) -> TransformResult:
+    """Convenience one-shot: interpret ``script`` against ``payload``."""
+    interpreter = TransformInterpreter(**interpreter_options)
+    return interpreter.apply(script, payload, entry_point)

@@ -1,0 +1,150 @@
+"""The transform state: handle/payload mapping and invalidation tracking.
+
+The interpreter maintains the association table between transform-script
+handles (SSA values) and payload operations (paper §3), including:
+
+* **handle invalidation** (§3.1): consuming transforms invalidate their
+  operand handles *and every aliasing handle* — a handle aliases another
+  when their payload operations overlap or nest;
+* **rewrite-event subscription** (§3.1): the state is a
+  :class:`~repro.rewrite.pattern.RewriteListener`, so pattern drivers
+  notify it when payload ops are replaced or erased and handles are
+  updated instead of dangling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..ir.core import Operation, Value
+from ..rewrite.pattern import RewriteListener
+from .errors import TransformResult
+
+#: Parameters are lists of plain Python constants (ints mostly).
+ParamValue = List[object]
+
+
+class HandleInvalidatedError(Exception):
+    """Access through an invalidated handle (reported as definite error)."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class TransformState(RewriteListener):
+    """Maps transform handles to payload operations."""
+
+    def __init__(self, payload_root: Operation):
+        self.payload_root = payload_root
+        self._ops: Dict[int, List[Operation]] = {}
+        self._params: Dict[int, ParamValue] = {}
+        self._values: Dict[int, Value] = {}  # handle id -> handle value
+        self._invalidated: Dict[int, str] = {}
+
+    # -- mapping -----------------------------------------------------------
+
+    def set_payload(self, handle: Value, ops: Sequence[Operation]) -> None:
+        self._ops[id(handle)] = list(ops)
+        self._values[id(handle)] = handle
+        self._invalidated.pop(id(handle), None)
+
+    def get_payload(self, handle: Value) -> List[Operation]:
+        """Payload ops of ``handle``; raises on invalidated handles."""
+        reason = self._invalidated.get(id(handle))
+        if reason is not None:
+            raise HandleInvalidatedError(
+                f"use of a handle invalidated by {reason}"
+            )
+        if id(handle) not in self._ops:
+            raise HandleInvalidatedError("use of an unmapped handle")
+        return list(self._ops[id(handle)])
+
+    def set_param(self, handle: Value, values: Iterable[object]) -> None:
+        self._params[id(handle)] = list(values)
+        self._values[id(handle)] = handle
+
+    def get_param(self, handle: Value) -> ParamValue:
+        if id(handle) not in self._params:
+            raise HandleInvalidatedError("use of an unmapped parameter")
+        return list(self._params[id(handle)])
+
+    def is_invalidated(self, handle: Value) -> bool:
+        return id(handle) in self._invalidated
+
+    def invalidation_reason(self, handle: Value) -> Optional[str]:
+        return self._invalidated.get(id(handle))
+
+    # -- invalidation ---------------------------------------------------------
+
+    def invalidate(self, handle: Value, reason: str) -> None:
+        """Invalidate ``handle`` and every aliasing handle.
+
+        Aliasing is discovered by traversing the payload IR along with
+        the handle/operation mapping: invalidating a handle also
+        invalidates any other handle to the *same* payload operations
+        or to operations *nested in* them (§3.1). Handles to enclosing
+        operations stay valid — the ancestors survive the rewrite.
+        """
+        targets = self._ops.get(id(handle), [])
+        self._invalidated[id(handle)] = reason
+        if not targets:
+            return
+        for other_id, other_ops in self._ops.items():
+            if other_id == id(handle) or other_id in self._invalidated:
+                continue
+            if any(
+                consumed is other or consumed.is_ancestor_of(other)
+                for consumed in targets
+                for other in other_ops
+            ):
+                self._invalidated[other_id] = (
+                    f"{reason} (aliasing handle: payload same as or "
+                    "nested in the consumed payload)"
+                )
+
+    # -- rewrite-driver event subscription (paper §3.1) -------------------------
+
+    def notify_op_replaced(self, op: Operation,
+                           new_values: Sequence[Value]) -> None:
+        """Update handles to point at the replacement operation."""
+        replacement: Optional[Operation] = None
+        for value in new_values:
+            defining = value.defining_op()
+            if defining is not None:
+                replacement = defining
+                break
+        for ops in self._ops.values():
+            for index, mapped in enumerate(list(ops)):
+                if mapped is op:
+                    if replacement is not None:
+                        ops[index] = replacement
+                    else:
+                        ops.remove(mapped)
+
+    def notify_op_replaced_with_op(self, op: Operation,
+                                   new_op: Operation) -> None:
+        """Repoint handles at the replacement op (covers 0-result ops)."""
+        for ops in self._ops.values():
+            for index, mapped in enumerate(ops):
+                if mapped is op:
+                    ops[index] = new_op
+
+    def notify_op_erased(self, op: Operation) -> None:
+        """Drop erased ops from every mapping (empty set, not dangling)."""
+        for ops in self._ops.values():
+            while op in ops:
+                ops.remove(op)
+
+    # -- queries ------------------------------------------------------------------
+
+    def num_handles(self) -> int:
+        return len(self._ops)
+
+    def all_mapped_ops(self) -> List[Operation]:
+        out: List[Operation] = []
+        for ops in self._ops.values():
+            out.extend(ops)
+        return out
+
+

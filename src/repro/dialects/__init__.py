@@ -1,0 +1,48 @@
+"""Payload dialects.
+
+Each module registers its operations on import and exposes builder
+helpers so client code reads close to MLIR's own builder API:
+
+.. code-block:: python
+
+    from repro.dialects import arith, scf, func
+
+    c0 = arith.constant(builder, 0, INDEX)
+    loop = scf.for_(builder, c0, ub, step)
+
+Importing :mod:`repro.dialects` loads every dialect.
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    affine,
+    arith,
+    builtin,
+    cf,
+    func,
+    index,
+    linalg,
+    llvm,
+    memref,
+    scf,
+    stablehlo,
+    tensor,
+    tosa,
+    vector,
+)
+
+__all__ = [
+    "affine",
+    "arith",
+    "builtin",
+    "cf",
+    "func",
+    "index",
+    "linalg",
+    "llvm",
+    "memref",
+    "scf",
+    "stablehlo",
+    "tensor",
+    "tosa",
+    "vector",
+]

@@ -1,0 +1,95 @@
+"""The affine dialect (subset): affine index computations.
+
+Only the operations relevant to the paper are modelled: ``affine.apply``
+(introduced by ``expand-strided-metadata`` — the culprit of the broken
+pipeline in case study 2), ``affine.min`` and ``affine.max`` (tiling
+bounds), and ``affine.for``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..ir.affine import AffineMap
+from ..ir.attributes import AffineMapAttr
+from ..ir.builder import Builder
+from ..ir.core import IsTerminator, Operation, Pure, Value, register_op
+from ..ir.types import INDEX
+
+
+class _AffineMapOp(Operation):
+    """Shared accessors for ops parameterized by an affine map."""
+
+    TRAITS = frozenset({Pure})
+
+    @property
+    def map(self) -> AffineMap:
+        attr = self.attr("map")
+        assert isinstance(attr, AffineMapAttr)
+        return attr.map  # type: ignore[return-value]
+
+    def verify_op(self) -> None:
+        attr = self.attr("map")
+        if not isinstance(attr, AffineMapAttr):
+            raise ValueError(f"{self.name} requires a 'map' attribute")
+        map_ = attr.map
+        expected = map_.num_dims + map_.num_symbols  # type: ignore[union-attr]
+        if self.num_operands != expected:
+            raise ValueError(
+                f"{self.name}: expected {expected} operands for map {map_}"
+            )
+
+
+@register_op
+class ApplyOp(_AffineMapOp):
+    """Evaluate a single-result affine map on index operands."""
+
+    NAME = "affine.apply"
+
+    def verify_op(self) -> None:
+        super().verify_op()
+        if self.map.num_results != 1:
+            raise ValueError("affine.apply requires a single-result map")
+
+
+@register_op
+class MinOp(_AffineMapOp):
+    """Minimum over the results of an affine map (tile boundary clamping)."""
+
+    NAME = "affine.min"
+
+
+@register_op
+class MaxOp(_AffineMapOp):
+    NAME = "affine.max"
+
+
+@register_op
+class AffineForOp(Operation):
+    NAME = "affine.for"
+
+
+@register_op
+class AffineYieldOp(Operation):
+    NAME = "affine.yield"
+    TRAITS = frozenset({IsTerminator})
+
+
+def apply(builder: Builder, map: AffineMap,
+          operands: Sequence[Value]) -> Value:
+    return builder.create(
+        "affine.apply",
+        operands=list(operands),
+        result_types=[INDEX],
+        attributes={"map": AffineMapAttr(map)},
+    ).result
+
+
+def min_(builder: Builder, map: AffineMap,
+         operands: Sequence[Value]) -> Value:
+    return builder.create(
+        "affine.min",
+        operands=list(operands),
+        result_types=[INDEX],
+        attributes={"map": AffineMapAttr(map)},
+    ).result

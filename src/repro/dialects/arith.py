@@ -1,0 +1,229 @@
+"""The arith dialect: integer/float arithmetic, comparisons and casts."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..ir.attributes import FloatAttr, IntegerAttr, StringAttr, unwrap
+from ..ir.builder import Builder
+from ..ir.core import Commutative, Operation, Pure, Value, register_op
+from ..ir.types import (
+    F64,
+    FloatType,
+    I64,
+    IndexType,
+    IntegerType,
+    Type,
+)
+
+
+@register_op
+class ConstantOp(Operation):
+    """An integer, float or index constant (``value`` attribute)."""
+
+    NAME = "arith.constant"
+    TRAITS = frozenset({Pure})
+
+    @property
+    def value(self) -> Union[int, float]:
+        return unwrap(self.attr("value"))
+
+    def verify_op(self) -> None:
+        if "value" not in self.attributes:
+            raise ValueError("arith.constant requires a 'value' attribute")
+        if len(self.results) != 1:
+            raise ValueError("arith.constant produces exactly one result")
+
+
+class _BinaryOp(Operation):
+    """Shared verification for same-type binary arithmetic."""
+
+    def verify_op(self) -> None:
+        if self.num_operands != 2:
+            raise ValueError(f"{self.name} expects two operands")
+        lhs, rhs = self.operands
+        if lhs.type != rhs.type:
+            raise ValueError(
+                f"{self.name}: operand types differ ({lhs.type} vs {rhs.type})"
+            )
+        if len(self.results) == 1 and self.results[0].type != lhs.type:
+            raise ValueError(f"{self.name}: result type mismatch")
+
+
+_COMMUTATIVE = frozenset({Pure, Commutative})
+_PURE = frozenset({Pure})
+
+_BINARY_OPS = {
+    "addi": _COMMUTATIVE,
+    "subi": _PURE,
+    "muli": _COMMUTATIVE,
+    "divsi": _PURE,
+    "divui": _PURE,
+    "remsi": _PURE,
+    "remui": _PURE,
+    "andi": _COMMUTATIVE,
+    "ori": _COMMUTATIVE,
+    "xori": _COMMUTATIVE,
+    "maxsi": _COMMUTATIVE,
+    "minsi": _COMMUTATIVE,
+    "shli": _PURE,
+    "shrsi": _PURE,
+    "addf": _COMMUTATIVE,
+    "subf": _PURE,
+    "mulf": _COMMUTATIVE,
+    "divf": _PURE,
+    "maximumf": _COMMUTATIVE,
+    "minimumf": _COMMUTATIVE,
+}
+
+for _short_name, _traits in _BINARY_OPS.items():
+    _cls = type(
+        f"Arith_{_short_name}",
+        (_BinaryOp,),
+        {"NAME": f"arith.{_short_name}", "TRAITS": _traits},
+    )
+    register_op(_cls)
+
+
+@register_op
+class CmpIOp(Operation):
+    """Integer comparison; the predicate is a string attribute."""
+
+    NAME = "arith.cmpi"
+    TRAITS = frozenset({Pure})
+
+    PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule",
+                  "ugt", "uge")
+
+    @property
+    def predicate(self) -> str:
+        attr = self.attr("predicate")
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+    def verify_op(self) -> None:
+        attr = self.attr("predicate")
+        if not isinstance(attr, StringAttr) or attr.value not in self.PREDICATES:
+            raise ValueError("arith.cmpi: invalid predicate")
+
+
+@register_op
+class CmpFOp(Operation):
+    NAME = "arith.cmpf"
+    TRAITS = frozenset({Pure})
+
+    PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge", "ord", "uno")
+
+    @property
+    def predicate(self) -> str:
+        attr = self.attr("predicate")
+        assert isinstance(attr, StringAttr)
+        return attr.value
+
+
+@register_op
+class SelectOp(Operation):
+    NAME = "arith.select"
+    TRAITS = frozenset({Pure})
+
+    def verify_op(self) -> None:
+        if self.num_operands != 3:
+            raise ValueError("arith.select expects (cond, true, false)")
+
+
+class _CastOp(Operation):
+    TRAITS = frozenset({Pure})
+
+    def verify_op(self) -> None:
+        if self.num_operands != 1 or len(self.results) != 1:
+            raise ValueError(f"{self.name} is a unary cast")
+
+
+for _cast_name in ("index_cast", "sitofp", "fptosi", "extf", "truncf",
+                   "extsi", "extui", "trunci", "bitcast"):
+    register_op(
+        type(
+            f"Arith_{_cast_name}",
+            (_CastOp,),
+            {"NAME": f"arith.{_cast_name}"},
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def constant(builder: Builder, value: Union[int, float],
+             type: Optional[Type] = None) -> Value:
+    """Create an ``arith.constant`` and return its result value."""
+    if type is None:
+        type = I64 if isinstance(value, int) else F64
+    if isinstance(value, float) or isinstance(type, FloatType):
+        value_attr = FloatAttr(float(value), type)
+    else:
+        value_attr = IntegerAttr(int(value), type)
+    op = builder.create(
+        "arith.constant", result_types=[type], attributes={"value": value_attr}
+    )
+    return op.result
+
+
+def index_constant(builder: Builder, value: int) -> Value:
+    return constant(builder, value, IndexType())
+
+
+def _binary(name: str):
+    def build(builder: Builder, lhs: Value, rhs: Value) -> Value:
+        return builder.create(
+            f"arith.{name}", operands=[lhs, rhs], result_types=[lhs.type]
+        ).result
+
+    build.__name__ = name
+    build.__doc__ = f"Create an ``arith.{name}`` op and return its result."
+    return build
+
+
+addi = _binary("addi")
+subi = _binary("subi")
+muli = _binary("muli")
+divsi = _binary("divsi")
+remsi = _binary("remsi")
+andi = _binary("andi")
+ori = _binary("ori")
+xori = _binary("xori")
+maxsi = _binary("maxsi")
+minsi = _binary("minsi")
+addf = _binary("addf")
+subf = _binary("subf")
+mulf = _binary("mulf")
+divf = _binary("divf")
+maximumf = _binary("maximumf")
+minimumf = _binary("minimumf")
+
+
+def cmpi(builder: Builder, predicate: str, lhs: Value, rhs: Value) -> Value:
+    from ..ir.types import I1
+
+    return builder.create(
+        "arith.cmpi",
+        operands=[lhs, rhs],
+        result_types=[I1],
+        attributes={"predicate": predicate},
+    ).result
+
+
+def select(builder: Builder, cond: Value, true_value: Value,
+           false_value: Value) -> Value:
+    return builder.create(
+        "arith.select",
+        operands=[cond, true_value, false_value],
+        result_types=[true_value.type],
+    ).result
+
+
+def index_cast(builder: Builder, value: Value, type: Type) -> Value:
+    return builder.create(
+        "arith.index_cast", operands=[value], result_types=[type]
+    ).result

@@ -1,0 +1,37 @@
+"""The index dialect (subset): arithmetic on the index type."""
+
+from __future__ import annotations
+
+from ..ir.builder import Builder
+from ..ir.core import Operation, Pure, Value, register_op
+from ..ir.types import INDEX
+
+_PURE = frozenset({Pure})
+
+for _short in ("add", "sub", "mul", "divs", "rems", "ceildivs", "constant",
+               "casts", "castu", "cmp"):
+    register_op(
+        type(
+            f"Index_{_short}",
+            (Operation,),
+            {"NAME": f"index.{_short}", "TRAITS": _PURE},
+        )
+    )
+
+
+def constant(builder: Builder, value: int) -> Value:
+    return builder.create(
+        "index.constant", result_types=[INDEX], attributes={"value": value}
+    ).result
+
+
+def add(builder: Builder, lhs: Value, rhs: Value) -> Value:
+    return builder.create(
+        "index.add", operands=[lhs, rhs], result_types=[INDEX]
+    ).result
+
+
+def mul(builder: Builder, lhs: Value, rhs: Value) -> Value:
+    return builder.create(
+        "index.mul", operands=[lhs, rhs], result_types=[INDEX]
+    ).result

@@ -1,0 +1,103 @@
+"""The llvm dialect (subset): the final lowering target.
+
+Models enough of MLIR's LLVM dialect for the Table-2 lowering pipeline:
+arithmetic, memory access through raw pointers, branches, functions and
+the struct-based memref descriptor manipulation ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..ir.attributes import SymbolRefAttr
+from ..ir.builder import Builder
+from ..ir.core import (
+    Block,
+    IsTerminator,
+    IsolatedFromAbove,
+    Operation,
+    Pure,
+    SymbolTrait,
+    Value,
+    register_op,
+)
+from ..ir.types import LLVMPointerType, Type
+
+_PURE = frozenset({Pure})
+
+# Simple pure value ops (binary arithmetic and casts).
+_SIMPLE_OPS = (
+    "add", "sub", "mul", "sdiv", "udiv", "srem",
+    "fadd", "fsub", "fmul", "fdiv",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+    "icmp", "fcmp", "select",
+    "bitcast", "ptrtoint", "inttoptr", "sext", "zext", "trunc",
+    "sitofp", "fptosi", "fpext", "fptrunc",
+    "insertvalue", "extractvalue", "getelementptr", "undef", "constant",
+    "mlir_zero",
+)
+
+for _short in _SIMPLE_OPS:
+    register_op(
+        type(
+            f"LLVM_{_short}",
+            (Operation,),
+            {"NAME": f"llvm.{_short}", "TRAITS": _PURE},
+        )
+    )
+
+# Memory and control flow ops.
+for _short in ("alloca", "load", "store", "call"):
+    register_op(
+        type(f"LLVM_{_short}", (Operation,), {"NAME": f"llvm.{_short}"})
+    )
+
+for _short in ("br", "cond_br", "switch", "unreachable", "return"):
+    register_op(
+        type(
+            f"LLVM_{_short}",
+            (Operation,),
+            {"NAME": f"llvm.{_short}", "TRAITS": frozenset({IsTerminator})},
+        )
+    )
+
+
+@register_op
+class LLVMFuncOp(Operation):
+    NAME = "llvm.func"
+    TRAITS = frozenset({SymbolTrait, IsolatedFromAbove})
+
+
+def constant(builder: Builder, value: int, type: Type) -> Value:
+    return builder.create(
+        "llvm.constant", result_types=[type], attributes={"value": value}
+    ).result
+
+
+def load(builder: Builder, pointer: Value, type: Type) -> Value:
+    return builder.create(
+        "llvm.load", operands=[pointer], result_types=[type]
+    ).result
+
+
+def store(builder: Builder, value: Value, pointer: Value) -> Operation:
+    return builder.create("llvm.store", operands=[value, pointer])
+
+
+def getelementptr(builder: Builder, pointer: Value,
+                  indices: Sequence[Value]) -> Value:
+    return builder.create(
+        "llvm.getelementptr",
+        operands=[pointer, *indices],
+        result_types=[LLVMPointerType()],
+    ).result
+
+
+def call(builder: Builder, callee: str, args: Sequence[Value],
+         result_types: Sequence[Type] = ()) -> Operation:
+    return builder.create(
+        "llvm.call",
+        operands=list(args),
+        result_types=list(result_types),
+        attributes={"callee": SymbolRefAttr(callee)},
+    )

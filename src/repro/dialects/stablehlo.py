@@ -1,0 +1,87 @@
+"""The StableHLO dialect (subset) used by the case-study-3 pattern hunt.
+
+Models the tensor-level ops that the Enzyme/JAX peephole patterns of the
+paper rewrite: elementwise arithmetic, shape manipulation, ``dot_general``
+and ``reduce``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import Builder
+from ..ir.core import Block, IsTerminator, Operation, Pure, Value, register_op
+from ..ir.types import TensorType, Type
+
+_PURE = frozenset({Pure})
+
+ELEMENTWISE_BINARY = ("add", "subtract", "multiply", "divide", "maximum",
+                      "minimum", "power", "atan2")
+ELEMENTWISE_UNARY = ("negate", "exponential", "log", "rsqrt", "sqrt",
+                     "tanh", "logistic", "abs", "sign", "convert",
+                     "floor", "ceil", "cosine", "sine")
+SHAPE_OPS = ("transpose", "reshape", "broadcast_in_dim", "slice",
+             "concatenate", "reverse", "pad")
+OTHER_OPS = ("constant", "dot_general", "select", "compare", "iota",
+             "convolution", "dynamic_slice", "gather")
+
+ALL_OPS = ELEMENTWISE_BINARY + ELEMENTWISE_UNARY + SHAPE_OPS + OTHER_OPS
+
+for _short in ALL_OPS:
+    register_op(
+        type(
+            f"Stablehlo_{_short}",
+            (Operation,),
+            {"NAME": f"stablehlo.{_short}", "TRAITS": _PURE},
+        )
+    )
+
+
+@register_op
+class ReduceOp(Operation):
+    """Reduction over listed dimensions with a combiner region."""
+
+    NAME = "stablehlo.reduce"
+    TRAITS = frozenset({Pure})
+
+
+@register_op
+class ReturnOp(Operation):
+    NAME = "stablehlo.return"
+    TRAITS = frozenset({IsTerminator})
+
+
+def op(builder: Builder, short_name: str, operands: Sequence[Value],
+       result_type: Type, **attrs) -> Value:
+    """Generic StableHLO builder: ``stablehlo.op(b, "add", [x, y], t)``."""
+    return builder.create(
+        f"stablehlo.{short_name}",
+        operands=list(operands),
+        result_types=[result_type],
+        attributes=dict(attrs) if attrs else None,
+    ).result
+
+
+def reduce(builder: Builder, operand: Value, init: Value,
+           dimensions: Sequence[int], result_type: Type,
+           kind: str = "add") -> Value:
+    """Create a ``stablehlo.reduce`` with a canonical combiner region."""
+    reduce_op = builder.create(
+        "stablehlo.reduce",
+        operands=[operand, init],
+        result_types=[result_type],
+        attributes={"dimensions": list(dimensions), "kind": kind},
+        regions=1,
+    )
+    element_type = result_type.element_type if isinstance(
+        result_type, TensorType) else result_type
+    body = Block([element_type, element_type])
+    reduce_op.regions[0].add_block(body)
+    body_builder = Builder.at_end(body)
+    combined = body_builder.create(
+        f"stablehlo.{kind}",
+        operands=list(body.args),
+        result_types=[element_type],
+    )
+    body_builder.create("stablehlo.return", operands=[combined.result])
+    return reduce_op.result

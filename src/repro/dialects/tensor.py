@@ -1,0 +1,46 @@
+"""The tensor dialect (subset): value-semantics tensor manipulation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import Builder
+from ..ir.core import IsTerminator, Operation, Pure, Value, register_op
+from ..ir.types import TensorType, Type
+
+_PURE = frozenset({Pure})
+
+for _short in ("empty", "extract", "insert", "extract_slice", "insert_slice",
+               "collapse_shape", "expand_shape", "cast", "dim", "splat",
+               "from_elements", "concat", "reshape"):
+    register_op(
+        type(
+            f"Tensor_{_short}",
+            (Operation,),
+            {"NAME": f"tensor.{_short}", "TRAITS": _PURE},
+        )
+    )
+
+
+@register_op
+class PadOp(Operation):
+    """Pads a tensor; carries a region producing the padding value."""
+
+    NAME = "tensor.pad"
+    TRAITS = frozenset({Pure})
+
+
+@register_op
+class TensorYieldOp(Operation):
+    NAME = "tensor.yield"
+    TRAITS = frozenset({IsTerminator})
+
+
+def empty(builder: Builder, type: TensorType) -> Value:
+    return builder.create("tensor.empty", result_types=[type]).result
+
+
+def cast(builder: Builder, source: Value, type: Type) -> Value:
+    return builder.create(
+        "tensor.cast", operands=[source], result_types=[type]
+    ).result

@@ -1,0 +1,73 @@
+"""The TOSA dialect (subset): Tensor Operator Set Architecture.
+
+The entry dialect of the Table-1 compile-time study: synthetic ML model
+graphs (``repro.mlmodels``) are expressed in TOSA and lowered to Linalg
+through the pipeline in ``repro.passes.tosa_pipeline``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import Builder
+from ..ir.core import Operation, Pure, Value, register_op
+from ..ir.types import TensorType, Type
+
+_PURE = frozenset({Pure})
+
+#: Elementwise binary ops (broadcastable in full TOSA).
+BINARY_OPS = ("add", "sub", "mul", "maximum", "minimum", "pow",
+              "logical_and", "logical_or")
+
+#: Elementwise unary ops.
+UNARY_OPS = ("abs", "negate", "exp", "log", "rsqrt", "reciprocal",
+             "sigmoid", "tanh", "clamp", "cast", "rescale", "erf",
+             "floor", "ceil")
+
+#: Data movement / shape ops.
+SHAPE_OPS = ("reshape", "transpose", "concat", "pad", "slice", "tile",
+             "reverse", "gather")
+
+#: Reductions.
+REDUCE_OPS = ("reduce_sum", "reduce_max", "reduce_min", "reduce_prod",
+              "reduce_all", "reduce_any", "argmax")
+
+#: Compute-heavy ops.
+COMPUTE_OPS = ("conv2d", "depthwise_conv2d", "transpose_conv2d", "matmul",
+               "fully_connected", "avg_pool2d", "max_pool2d")
+
+#: Miscellaneous.
+MISC_OPS = ("const", "table", "select", "equal", "greater",
+            "greater_equal", "resize", "softmax")
+
+ALL_OPS = (BINARY_OPS + UNARY_OPS + SHAPE_OPS + REDUCE_OPS + COMPUTE_OPS
+           + MISC_OPS)
+
+for _short in ALL_OPS:
+    register_op(
+        type(
+            f"Tosa_{_short}",
+            (Operation,),
+            {"NAME": f"tosa.{_short}", "TRAITS": _PURE},
+        )
+    )
+
+
+def op(builder: Builder, short_name: str, operands: Sequence[Value],
+       result_type: Type, **attrs) -> Value:
+    """Generic TOSA op builder: ``tosa.op(b, "add", [x, y], t)``."""
+    if short_name not in ALL_OPS:
+        raise ValueError(f"unknown tosa op: {short_name}")
+    return builder.create(
+        f"tosa.{short_name}",
+        operands=list(operands),
+        result_types=[result_type],
+        attributes=dict(attrs) if attrs else None,
+    ).result
+
+
+def const(builder: Builder, result_type: TensorType, **attrs) -> Value:
+    return builder.create(
+        "tosa.const", result_types=[result_type],
+        attributes=dict(attrs) if attrs else None,
+    ).result

@@ -1,0 +1,46 @@
+"""The vector dialect (subset): SIMD-style operations."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.builder import Builder
+from ..ir.core import Operation, Pure, Value, register_op
+from ..ir.types import VectorType
+
+_PURE = frozenset({Pure})
+
+for _short in ("broadcast", "fma", "extract", "insert", "splat",
+               "reduction", "transfer_read", "transfer_write", "shuffle"):
+    register_op(
+        type(
+            f"Vector_{_short}",
+            (Operation,),
+            {"NAME": f"vector.{_short}", "TRAITS": _PURE},
+        )
+    )
+
+for _short in ("load", "store"):
+    register_op(
+        type(f"Vector_{_short}", (Operation,), {"NAME": f"vector.{_short}"})
+    )
+
+
+def load(builder: Builder, type: VectorType, base: Value,
+         indices: Sequence[Value]) -> Value:
+    return builder.create(
+        "vector.load", operands=[base, *indices], result_types=[type]
+    ).result
+
+
+def store(builder: Builder, value: Value, base: Value,
+          indices: Sequence[Value]) -> Operation:
+    return builder.create(
+        "vector.store", operands=[value, base, *indices]
+    )
+
+
+def fma(builder: Builder, a: Value, b: Value, c: Value) -> Value:
+    return builder.create(
+        "vector.fma", operands=[a, b, c], result_types=[a.type]
+    ).result

@@ -1,0 +1,35 @@
+"""Case study 3: debugging counter-productive optimization patterns.
+
+Models the paper's Enzyme/JAX StableHLO peephole-pattern hunt: a set of
+100+ work-reducing/enabling patterns, an XLA-like fusion cost model in
+which exactly one pattern ("fold reshape/transpose into full reduce")
+is end-to-end counter-productive, and a binary-search driver that finds
+it through transform scripts instead of C++ rebuilds.
+"""
+
+from .patterns import (
+    ALL_PATTERN_NAMES,
+    CULPRIT_PATTERN,
+    make_pattern,
+    register_all_patterns,
+)
+from .fusion import FusionCostModel, FusionReport
+from .workload import build_llm_block_module
+from .search import (
+    BinarySearchResult,
+    evaluate_pattern_set,
+    find_counterproductive_pattern,
+)
+
+__all__ = [
+    "ALL_PATTERN_NAMES",
+    "BinarySearchResult",
+    "CULPRIT_PATTERN",
+    "FusionCostModel",
+    "FusionReport",
+    "build_llm_block_module",
+    "evaluate_pattern_set",
+    "find_counterproductive_pattern",
+    "make_pattern",
+    "register_all_patterns",
+]

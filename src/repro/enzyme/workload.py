@@ -1,0 +1,106 @@
+"""The case-study-3 payload: an LLM-block-like StableHLO function.
+
+Built to contain firing sites for every pattern family of
+:mod:`repro.enzyme.patterns`: masked attention-style segments with
+zero-padding adds, double negations/transpositions, transposes feeding
+``dot_general``, convert chains, and — crucially — a full additive
+reduction guarded by a ``reshape`` whose folding (the culprit pattern)
+merges the heavy elementwise producer chain into the reduce's fusion
+cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dialects import builtin, func
+from ..dialects import stablehlo as hlo
+from ..ir.builder import Builder
+from ..ir.core import Operation, Value
+from ..ir.types import F32, TensorType, tensor
+
+
+def _constant(builder: Builder, type: TensorType, value: float) -> Value:
+    return builder.create(
+        "stablehlo.constant",
+        result_types=[type],
+        attributes={"value": value},
+    ).result
+
+
+def _block(builder: Builder, hidden: Value, weights: Value,
+           seq: int, dim: int, index: int) -> Value:
+    """One transformer-ish block with pattern-firing sites."""
+    t_seq_dim = tensor(seq, dim, element_type=F32)
+    t_dim_seq = tensor(dim, seq, element_type=F32)
+    scalar = tensor(1, element_type=F32)
+
+    # Enabling site: transpose feeding a dot_general (matmul_of_transpose).
+    w_t = hlo.op(builder, "transpose", [weights], t_dim_seq,
+                 permutation=[1, 0])
+    projected = hlo.op(builder, "dot_general", [hidden, w_t], t_seq_dim)
+
+    # Work-reduction site: mask added via pad-of-zero (add_of_zero_pad).
+    zero = _constant(builder, scalar, 0.0)
+    mask_core = hlo.op(builder, "tanh", [projected], t_seq_dim)
+    padded_mask = builder.create(
+        "stablehlo.pad",
+        operands=[mask_core, zero],
+        result_types=[t_seq_dim],
+    ).result
+    masked = hlo.op(builder, "add", [projected, padded_mask], t_seq_dim)
+
+    # Involution site: negate(negate(x)).
+    negated = hlo.op(builder, "negate", [masked], t_seq_dim)
+    restored = hlo.op(builder, "negate", [negated], t_seq_dim)
+
+    # Identity site: multiply by one.
+    one = _constant(builder, t_seq_dim, 1.0)
+    scaled = hlo.op(builder, "multiply", [restored, one], t_seq_dim)
+
+    # Double-transpose site.
+    flipped = hlo.op(builder, "transpose", [scaled], t_dim_seq,
+                     permutation=[1, 0])
+    unflipped = hlo.op(builder, "transpose", [flipped], t_seq_dim,
+                       permutation=[1, 0])
+
+    # Elementwise tail: softmax-ish chain (a sizeable fusion cluster).
+    exped = hlo.op(builder, "exponential", [unflipped], t_seq_dim)
+    logistic = hlo.op(builder, "logistic", [exped], t_seq_dim)
+    summed = hlo.op(builder, "add", [logistic, hidden], t_seq_dim)
+
+    # Convert-of-convert site.
+    widened = hlo.op(builder, "convert", [summed],
+                     tensor(seq, dim, element_type=F32))
+    narrowed = hlo.op(builder, "convert", [widened], t_seq_dim)
+    return narrowed
+
+
+def build_llm_block_module(seq: int = 512, dim: int = 512,
+                           n_blocks: int = 4,
+                           function_name: str = "llm_forward"
+                           ) -> Operation:
+    """Build the payload; the final loss is a full additive reduction
+    whose operand flows through a ``reshape`` — the fusion barrier that
+    the culprit pattern removes."""
+    module = builtin.module()
+    t_seq_dim = tensor(seq, dim, element_type=F32)
+    function = func.func(
+        function_name, [t_seq_dim, t_seq_dim], [tensor(1, element_type=F32)]
+    )
+    module.body.append(function)
+    builder = Builder.at_end(function.body)
+    hidden, weights = function.body.args
+
+    for index in range(n_blocks):
+        hidden = _block(builder, hidden, weights, seq, dim, index)
+
+    # Final loss: reshape (barrier) then a full additive reduction.
+    flat = hlo.op(builder, "reshape", [hidden],
+                  tensor(seq * dim, element_type=F32))
+    zero = _constant(builder, tensor(1, element_type=F32), 0.0)
+    loss = hlo.reduce(builder, flat, zero, [0],
+                      tensor(1, element_type=F32), kind="add")
+    func.return_(builder, [loss])
+    module.verify()
+    return module

@@ -1,0 +1,654 @@
+"""Core IR objects: values, operations, blocks and regions.
+
+The design mirrors MLIR's in-memory IR:
+
+* an :class:`Operation` has operands (SSA values), results, attributes,
+  nested regions and (for terminators) successor blocks;
+* a :class:`Block` has block arguments and a sequence of operations;
+* a :class:`Region` has a list of blocks and belongs to an operation;
+* every :class:`Value` (an :class:`OpResult` or a :class:`BlockArgument`)
+  tracks its uses, enabling ``replace_all_uses_with`` and def-use
+  traversal.
+
+Operations are *registered*: dialects associate op names with subclasses
+of :class:`Operation` carrying verifiers, traits and convenience
+accessors. Unregistered names instantiate the generic base class, exactly
+like MLIR's unregistered operations.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type as PyType,
+    Union,
+)
+
+from .attributes import Attribute, AttrLike, attr as make_attr
+from .diagnostics import Diagnostic, Severity
+from .location import Location, UNKNOWN_LOC
+from .types import Type
+
+# ---------------------------------------------------------------------------
+# Values and use-def chains
+# ---------------------------------------------------------------------------
+
+
+class OpOperand:
+    """A single use of a value by an operation (use-def chain link)."""
+
+    __slots__ = ("owner", "index", "_value")
+
+    def __init__(self, owner: "Operation", index: int, value: "Value"):
+        self.owner = owner
+        self.index = index
+        self._value = value
+        value._uses.append(self)
+
+    @property
+    def value(self) -> "Value":
+        return self._value
+
+    def set(self, new_value: "Value") -> None:
+        """Repoint this operand at ``new_value``, updating use lists."""
+        self._value._uses.remove(self)
+        self._value = new_value
+        new_value._uses.append(self)
+
+    def drop(self) -> None:
+        """Remove this use from its value's use list."""
+        self._value._uses.remove(self)
+
+
+class Value:
+    """Base class for SSA values."""
+
+    __slots__ = ("type", "_uses")
+
+    def __init__(self, type: Type):
+        self.type = type
+        self._uses: List[OpOperand] = []
+
+    @property
+    def uses(self) -> List[OpOperand]:
+        """A snapshot of the current uses of this value."""
+        return list(self._uses)
+
+    @property
+    def users(self) -> List["Operation"]:
+        """Operations using this value (duplicates removed, order kept)."""
+        seen: Dict[int, None] = {}
+        out = []
+        for use in self._uses:
+            if id(use.owner) not in seen:
+                seen[id(use.owner)] = None
+                out.append(use.owner)
+        return out
+
+    def has_uses(self) -> bool:
+        return bool(self._uses)
+
+    def has_one_use(self) -> bool:
+        return len(self._uses) == 1
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Redirect every use of this value to ``other``."""
+        if other is self:
+            return
+        for use in list(self._uses):
+            use.set(other)
+
+    def replace_uses_where(
+        self, other: "Value", predicate: Callable[[OpOperand], bool]
+    ) -> None:
+        """Redirect uses matching ``predicate`` to ``other``."""
+        for use in list(self._uses):
+            if predicate(use):
+                use.set(other)
+
+    @property
+    def owner(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def defining_op(self) -> Optional["Operation"]:
+        """The operation defining this value, or None for block arguments."""
+        return None
+
+
+class OpResult(Value):
+    """A result value produced by an operation."""
+
+    __slots__ = ("op", "index")
+
+    def __init__(self, op: "Operation", index: int, type: Type):
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    @property
+    def owner(self) -> "Operation":
+        return self.op
+
+    def defining_op(self) -> Optional["Operation"]:
+        return self.op
+
+    def __repr__(self) -> str:
+        return f"<OpResult #{self.index} of {self.op.name}>"
+
+
+class BlockArgument(Value):
+    """An argument of a block (e.g. a loop induction variable)."""
+
+    __slots__ = ("block", "index")
+
+    def __init__(self, block: "Block", index: int, type: Type):
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    @property
+    def owner(self) -> "Block":
+        return self.block
+
+    def __repr__(self) -> str:
+        return f"<BlockArgument #{self.index}>"
+
+
+# ---------------------------------------------------------------------------
+# Operation registry
+# ---------------------------------------------------------------------------
+
+#: Global registry mapping fully qualified op names to registered classes.
+OP_REGISTRY: Dict[str, PyType["Operation"]] = {}
+
+
+def register_op(cls: PyType["Operation"]) -> PyType["Operation"]:
+    """Class decorator registering an operation class by its ``NAME``."""
+    name = getattr(cls, "NAME", None)
+    if not name:
+        raise ValueError(f"{cls.__name__} lacks a NAME class attribute")
+    OP_REGISTRY[name] = cls
+    return cls
+
+
+def registered_op_class(name: str) -> Optional[PyType["Operation"]]:
+    """Look up the registered class for ``name`` (None if unregistered)."""
+    return OP_REGISTRY.get(name)
+
+
+# ---------------------------------------------------------------------------
+# Traits (structural invariants checked by the verifier)
+# ---------------------------------------------------------------------------
+
+
+class Trait:
+    """Marker base for operation traits."""
+
+
+class IsTerminator(Trait):
+    """The operation must be the last one in its block."""
+
+
+class NoTerminator(Trait):
+    """Blocks of this op's regions need no terminator."""
+
+
+class SingleBlock(Trait):
+    """Each region of the operation holds at most one block."""
+
+
+class IsolatedFromAbove(Trait):
+    """Regions may not reference values defined outside the operation."""
+
+
+class SymbolTableTrait(Trait):
+    """The operation's region defines a symbol table (e.g. a module)."""
+
+
+class SymbolTrait(Trait):
+    """The operation defines a symbol (has a ``sym_name`` attribute)."""
+
+
+class Pure(Trait):
+    """The operation has no side effects (eligible for CSE/DCE/hoisting)."""
+
+
+class Commutative(Trait):
+    """Binary operation whose operands may be swapped."""
+
+
+# ---------------------------------------------------------------------------
+# Operation
+# ---------------------------------------------------------------------------
+
+OperandLike = Value
+AttrsLike = Optional[Dict[str, AttrLike]]
+
+
+class Operation:
+    """A generic IR operation.
+
+    Instances are created through :meth:`Operation.create`, which
+    dispatches to the registered subclass when one exists for the name.
+    """
+
+    #: Fully qualified name; overridden by registered subclasses.
+    NAME: str = ""
+    #: Structural traits checked by the verifier.
+    TRAITS: frozenset = frozenset()
+
+    def __init__(
+        self,
+        name: str,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+        attributes: AttrsLike = None,
+        regions: int = 0,
+        successors: Sequence["Block"] = (),
+        location: Location = UNKNOWN_LOC,
+    ):
+        self.name = name
+        self.location = location
+        self.parent: Optional[Block] = None
+        self._operands: List[OpOperand] = [
+            OpOperand(self, i, v) for i, v in enumerate(operands)
+        ]
+        self.results: List[OpResult] = [
+            OpResult(self, i, t) for i, t in enumerate(result_types)
+        ]
+        self.attributes: Dict[str, Attribute] = {
+            k: make_attr(v) for k, v in (attributes or {}).items()
+        }
+        self.regions: List[Region] = [Region(self) for _ in range(regions)]
+        self.successors: List[Block] = list(successors)
+
+    # -- creation ----------------------------------------------------------
+
+    @staticmethod
+    def create(
+        name: str,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[Type] = (),
+        attributes: AttrsLike = None,
+        regions: int = 0,
+        successors: Sequence["Block"] = (),
+        location: Location = UNKNOWN_LOC,
+    ) -> "Operation":
+        """Create an operation, using the registered class if present."""
+        cls = OP_REGISTRY.get(name, Operation)
+        op = object.__new__(cls)
+        Operation.__init__(
+            op, name, operands, result_types, attributes, regions, successors,
+            location,
+        )
+        return op
+
+    # -- operands ----------------------------------------------------------
+
+    @property
+    def operands(self) -> List[Value]:
+        return [o.value for o in self._operands]
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def operand(self, index: int) -> Value:
+        return self._operands[index].value
+
+    def set_operand(self, index: int, value: Value) -> None:
+        self._operands[index].set(value)
+
+    def set_operands(self, values: Sequence[Value]) -> None:
+        """Replace the whole operand list."""
+        for operand in self._operands:
+            operand.drop()
+        self._operands = [OpOperand(self, i, v) for i, v in enumerate(values)]
+
+    def replace_uses_of_with(self, old: Value, new: Value) -> None:
+        for operand in self._operands:
+            if operand.value is old:
+                operand.set(new)
+
+    # -- results / attributes ------------------------------------------------
+
+    @property
+    def result(self) -> OpResult:
+        """The single result (raises if the op does not have exactly one)."""
+        if len(self.results) != 1:
+            raise ValueError(f"{self.name} has {len(self.results)} results")
+        return self.results[0]
+
+    def attr(self, name: str, default=None) -> Optional[Attribute]:
+        return self.attributes.get(name, default)
+
+    def set_attr(self, name: str, value: AttrLike) -> None:
+        self.attributes[name] = make_attr(value)
+
+    def remove_attr(self, name: str) -> Optional[Attribute]:
+        return self.attributes.pop(name, None)
+
+    def has_trait(self, trait: PyType[Trait]) -> bool:
+        return trait in type(self).TRAITS
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent is None or self.parent.parent is None:
+            return None
+        return self.parent.parent.parent
+
+    @property
+    def parent_region(self) -> Optional["Region"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def ancestors(self) -> Iterator["Operation"]:
+        op = self.parent_op
+        while op is not None:
+            yield op
+            op = op.parent_op
+
+    def is_ancestor_of(self, other: "Operation") -> bool:
+        """True if ``other`` is nested within this op (or is this op)."""
+        node: Optional[Operation] = other
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent_op
+        return False
+
+    def is_before_in_block(self, other: "Operation") -> bool:
+        if self.parent is None or self.parent is not other.parent:
+            raise ValueError("operations are not in the same block")
+        ops = self.parent.ops
+        return ops.index(self) < ops.index(other)
+
+    def region(self, index: int = 0) -> "Region":
+        return self.regions[index]
+
+    def body_block(self) -> "Block":
+        """First block of the first region (common single-block case)."""
+        return self.regions[0].blocks[0]
+
+    # -- mutation ----------------------------------------------------------
+
+    def drop_all_references(self) -> None:
+        """Drop all operand uses of this op and ops nested within it."""
+        for operand in self._operands:
+            operand.drop()
+        self._operands = []
+        for region in self.regions:
+            for block in region.blocks:
+                for op in block.ops:
+                    op.drop_all_references()
+
+    def erase(self) -> None:
+        """Remove this op from its block and sever all def-use links.
+
+        The op must have no remaining uses of its results.
+        """
+        for result in self.results:
+            if result.has_uses():
+                raise ValueError(
+                    f"erasing {self.name} whose result still has uses"
+                )
+        self.drop_all_references()
+        if self.parent is not None:
+            self.parent.remove(self)
+
+    def replace_all_uses_with(self, new_values: Sequence[Value]) -> None:
+        if len(new_values) != len(self.results):
+            raise ValueError("replacement value count mismatch")
+        for result, new in zip(self.results, new_values):
+            result.replace_all_uses_with(new)
+
+    def move_before(self, other: "Operation") -> None:
+        if self.parent is not None:
+            self.parent.remove(self)
+        block = other.parent
+        assert block is not None
+        block.insert_before(other, self)
+
+    def move_after(self, other: "Operation") -> None:
+        if self.parent is not None:
+            self.parent.remove(self)
+        block = other.parent
+        assert block is not None
+        block.insert_after(other, self)
+
+    def clone(self, value_map: Optional[Dict[Value, Value]] = None) -> "Operation":
+        """Deep-copy this operation (and nested regions).
+
+        ``value_map`` maps old values to new ones; operands found in the
+        map are remapped, others are reused as-is. The map is extended
+        with this op's results and all nested block arguments/results.
+        """
+        if value_map is None:
+            value_map = {}
+        new_op = Operation.create(
+            self.name,
+            operands=[value_map.get(v, v) for v in self.operands],
+            result_types=[r.type for r in self.results],
+            attributes=dict(self.attributes),
+            regions=len(self.regions),
+            successors=list(self.successors),
+            location=self.location,
+        )
+        for old_res, new_res in zip(self.results, new_op.results):
+            value_map[old_res] = new_res
+        for old_region, new_region in zip(self.regions, new_op.regions):
+            old_region.clone_into(new_region, value_map)
+        return new_op
+
+    # -- traversal ----------------------------------------------------------
+
+    def walk(self, reverse: bool = False) -> Iterator["Operation"]:
+        """Pre-order traversal of this op and everything nested in it."""
+        yield self
+        regions = reversed(self.regions) if reverse else self.regions
+        for region in regions:
+            blocks = reversed(region.blocks) if reverse else region.blocks
+            for block in blocks:
+                ops = reversed(block.ops) if reverse else list(block.ops)
+                for op in ops:
+                    yield from op.walk(reverse)
+
+    def walk_ops(self, name: str) -> Iterator["Operation"]:
+        """Walk, yielding only ops with the given name."""
+        for op in self.walk():
+            if op.name == name:
+                yield op
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self) -> None:
+        """Verify this op and all nested ops; raises ValueError on failure."""
+        self._verify_traits()
+        self.verify_op()
+        for region in self.regions:
+            for block in region.blocks:
+                for i, op in enumerate(block.ops):
+                    if op.parent is not block:
+                        raise ValueError(
+                            f"{op.name}: inconsistent parent pointer"
+                        )
+                    op.verify()
+
+    def verify_op(self) -> None:
+        """Op-specific verification; overridden by registered classes."""
+
+    def _verify_traits(self) -> None:
+        traits = type(self).TRAITS
+        if IsTerminator in traits and self.parent is not None:
+            if self.parent.ops and self.parent.ops[-1] is not self:
+                raise ValueError(f"terminator {self.name} not last in block")
+        if SingleBlock in traits:
+            for region in self.regions:
+                if len(region.blocks) > 1:
+                    raise ValueError(f"{self.name}: region has multiple blocks")
+        if SymbolTrait in traits and "sym_name" not in self.attributes:
+            raise ValueError(f"{self.name}: symbol op lacks sym_name")
+
+    def emit_error(self, message: str) -> Diagnostic:
+        return Diagnostic(Severity.ERROR, f"'{self.name}': {message}",
+                          self.location)
+
+    # -- display -------------------------------------------------------------
+
+    def __str__(self) -> str:
+        from .printer import print_op
+
+        return print_op(self)
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Block and Region
+# ---------------------------------------------------------------------------
+
+
+class Block:
+    """A sequence of operations with block arguments."""
+
+    def __init__(self, arg_types: Sequence[Type] = ()):
+        self.args: List[BlockArgument] = [
+            BlockArgument(self, i, t) for i, t in enumerate(arg_types)
+        ]
+        self.ops: List[Operation] = []
+        self.parent: Optional[Region] = None
+
+    # -- arguments -----------------------------------------------------------
+
+    def add_arg(self, type: Type) -> BlockArgument:
+        arg = BlockArgument(self, len(self.args), type)
+        self.args.append(arg)
+        return arg
+
+    def erase_arg(self, index: int) -> None:
+        arg = self.args[index]
+        if arg.has_uses():
+            raise ValueError("erasing block argument that still has uses")
+        del self.args[index]
+        for i, remaining in enumerate(self.args):
+            remaining.index = i
+
+    # -- op list -------------------------------------------------------------
+
+    def append(self, op: Operation) -> Operation:
+        if op.parent is not None:
+            op.parent.remove(op)
+        op.parent = self
+        self.ops.append(op)
+        return op
+
+    def insert(self, index: int, op: Operation) -> Operation:
+        if op.parent is not None:
+            op.parent.remove(op)
+        op.parent = self
+        self.ops.insert(index, op)
+        return op
+
+    def insert_before(self, anchor: Operation, op: Operation) -> Operation:
+        return self.insert(self.ops.index(anchor), op)
+
+    def insert_after(self, anchor: Operation, op: Operation) -> Operation:
+        return self.insert(self.ops.index(anchor) + 1, op)
+
+    def remove(self, op: Operation) -> None:
+        self.ops.remove(op)
+        op.parent = None
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        if self.ops and self.ops[-1].has_trait(IsTerminator):
+            return self.ops[-1]
+        return None
+
+    @property
+    def parent_op(self) -> Optional[Operation]:
+        return self.parent.parent if self.parent is not None else None
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(list(self.ops))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return f"<Block with {len(self.ops)} ops>"
+
+
+class Region:
+    """A list of blocks owned by an operation."""
+
+    def __init__(self, parent: Optional[Operation] = None):
+        self.blocks: List[Block] = []
+        self.parent = parent
+
+    def add_block(self, block: Optional[Block] = None) -> Block:
+        if block is None:
+            block = Block()
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def insert_block(self, index: int, block: Block) -> Block:
+        block.parent = self
+        self.blocks.insert(index, block)
+        return block
+
+    def remove_block(self, block: Block) -> None:
+        self.blocks.remove(block)
+        block.parent = None
+
+    @property
+    def entry_block(self) -> Block:
+        if not self.blocks:
+            raise ValueError("region has no blocks")
+        return self.blocks[0]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.blocks or all(not b.ops for b in self.blocks)
+
+    def clone_into(self, dest: "Region",
+                   value_map: Dict[Value, Value]) -> None:
+        """Clone all blocks of this region into ``dest`` (assumed empty)."""
+        # First create all blocks and their arguments so branch successors
+        # and forward references can be remapped.
+        block_map: Dict[Block, Block] = {}
+        for block in self.blocks:
+            new_block = Block([a.type for a in block.args])
+            for old_arg, new_arg in zip(block.args, new_block.args):
+                value_map[old_arg] = new_arg
+            dest.add_block(new_block)
+            block_map[block] = new_block
+        for block in self.blocks:
+            new_block = block_map[block]
+            for op in block.ops:
+                new_op = op.clone(value_map)
+                new_op.successors = [
+                    block_map.get(s, s) for s in new_op.successors
+                ]
+                new_block.append(new_op)
+
+    def walk(self) -> Iterator[Operation]:
+        for block in self.blocks:
+            for op in list(block.ops):
+                yield from op.walk()
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<Region with {len(self.blocks)} blocks>"

@@ -1,0 +1,18 @@
+"""Synthetic ML model graphs for the Table-1 compile-time study.
+
+The paper converts real TensorFlow models to TOSA; without the
+TensorFlow toolchain we synthesize TOSA graphs with the same op counts
+and a realistic op mix (conv blocks for the CNN, attention/FFN blocks
+for the transformers). Compile time of the TOSA->Linalg pipeline
+depends on the number and kinds of ops flowing through it, which these
+generators match exactly.
+"""
+
+from .generators import (
+    MODEL_SPECS,
+    ModelSpec,
+    build_model,
+    count_ops,
+)
+
+__all__ = ["MODEL_SPECS", "ModelSpec", "build_model", "count_ops"]

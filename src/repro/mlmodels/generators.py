@@ -1,0 +1,178 @@
+"""TOSA graph generators matching the paper's per-model op counts.
+
+| model                 | # ops (Table 1) | block style            |
+|-----------------------|-----------------|------------------------|
+| Squeezenet            | 126             | fire modules (convs)   |
+| GPT-2                 | 2861            | attention + FFN        |
+| Mobile BERT           | 4134            | bottlenecked attention |
+| Whisper (decoder)     | 847             | cross-attention        |
+| BERT-base-uncased     | 1182            | attention + FFN        |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..dialects import builtin, func, tosa
+from ..ir.builder import Builder
+from ..ir.core import Operation, Value
+from ..ir.types import F32, TensorType, tensor
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A synthetic model: name, exact op count, block style."""
+
+    name: str
+    n_ops: int
+    style: str  # "cnn" or "transformer"
+    hidden: int = 64
+    seq: int = 32
+
+
+MODEL_SPECS: Dict[str, ModelSpec] = {
+    "squeezenet": ModelSpec("squeezenet", 126, "cnn"),
+    "gpt2": ModelSpec("gpt2", 2861, "transformer", hidden=64, seq=32),
+    "mobilebert": ModelSpec("mobilebert", 4134, "transformer",
+                            hidden=48, seq=32),
+    "whisper_decoder": ModelSpec("whisper_decoder", 847, "transformer",
+                                 hidden=64, seq=24),
+    "bert_base": ModelSpec("bert_base", 1182, "transformer",
+                           hidden=64, seq=32),
+}
+
+
+class _GraphBuilder:
+    """Emits TOSA blocks until the target op count is reached."""
+
+    def __init__(self, builder: Builder, spec: ModelSpec):
+        self.builder = builder
+        self.spec = spec
+        self.emitted = 0
+
+    def _op(self, short_name: str, operands: List[Value],
+            result_type: TensorType, **attrs) -> Value:
+        self.emitted += 1
+        return tosa.op(self.builder, short_name, operands, result_type,
+                       **attrs)
+
+    def _const(self, result_type: TensorType) -> Value:
+        self.emitted += 1
+        return tosa.const(self.builder, result_type)
+
+    def remaining(self, target: int) -> int:
+        return target - self.emitted
+
+    # -- blocks ---------------------------------------------------------------
+
+    def conv_block(self, activation: Value) -> Value:
+        """conv2d + clamp (+ bias add): 4 ops, the Squeezenet staple."""
+        act_type = activation.type
+        assert isinstance(act_type, TensorType)
+        weights = self._const(tensor(3, 3, act_type.shape[-1],
+                                     act_type.shape[-1],
+                                     element_type=F32))
+        conv = self._op("conv2d", [activation, weights], act_type)
+        bias = self._const(tensor(act_type.shape[-1], element_type=F32))
+        biased = self._op("add", [conv, bias], act_type)
+        return self._op("clamp", [biased], act_type,
+                        min_fp=0.0, max_fp=6.0)
+
+    def fire_module(self, activation: Value) -> Value:
+        """Squeeze conv + two expand convs + concat-ish merge."""
+        squeezed = self.conv_block(activation)
+        expanded_a = self.conv_block(squeezed)
+        expanded_b = self.conv_block(squeezed)
+        act_type = activation.type
+        return self._op("add", [expanded_a, expanded_b], act_type)
+
+    def attention_block(self, hidden_state: Value) -> Value:
+        """Q/K/V/O matmuls + softmax + residual adds (~17 ops)."""
+        state_type = hidden_state.type
+        assert isinstance(state_type, TensorType)
+        seq, dim = state_type.shape
+        square = tensor(seq, seq, element_type=F32)
+
+        def projection(source: Value) -> Value:
+            weights = self._const(tensor(dim, dim, element_type=F32))
+            return self._op("matmul", [source, weights], state_type)
+
+        queries = projection(hidden_state)
+        keys = projection(hidden_state)
+        values = projection(hidden_state)
+        keys_t = self._op("transpose", [keys],
+                          tensor(dim, seq, element_type=F32), perms=[1, 0])
+        scores = self._op("matmul", [queries, keys_t], square)
+        weights = self._op("softmax", [scores], square)
+        context = self._op("matmul", [weights, values], state_type)
+        output = projection(context)
+        return self._op("add", [hidden_state, output], state_type)
+
+    def ffn_block(self, hidden_state: Value) -> Value:
+        """Two projections + activation + residual (~8 ops)."""
+        state_type = hidden_state.type
+        assert isinstance(state_type, TensorType)
+        seq, dim = state_type.shape
+        wide = tensor(seq, dim * 2, element_type=F32)
+        up_weights = self._const(tensor(dim, dim * 2, element_type=F32))
+        up = self._op("matmul", [hidden_state, up_weights], wide)
+        activated = self._op("tanh", [up], wide)
+        down_weights = self._const(tensor(dim * 2, dim, element_type=F32))
+        down = self._op("matmul", [activated, down_weights], state_type)
+        return self._op("add", [hidden_state, down], state_type)
+
+    def filler(self, hidden_state: Value, count: int) -> Value:
+        """Exactly ``count`` elementwise ops to land on the target."""
+        state_type = hidden_state.type
+        current = hidden_state
+        for index in range(count):
+            short_name = ("add", "mul", "tanh", "abs")[index % 4]
+            operands = (
+                [current, current]
+                if short_name in ("add", "mul")
+                else [current]
+            )
+            current = self._op(short_name, operands, state_type)
+        return current
+
+
+def build_model(name: str) -> Operation:
+    """Build the synthetic TOSA module for a Table-1 model."""
+    spec = MODEL_SPECS[name]
+    module = builtin.module()
+    if spec.style == "cnn":
+        input_type = tensor(1, 28, 28, 16, element_type=F32)
+    else:
+        input_type = tensor(spec.seq, spec.hidden, element_type=F32)
+    function = func.func("main", [input_type], [input_type])
+    module.body.append(function)
+    builder = Builder.at_end(function.body)
+    graph = _GraphBuilder(builder, spec)
+
+    state = function.body.args[0]
+    # Reserve one op for the final return-path identity below? No:
+    # func.return is not a tosa op and Table 1 counts model ops.
+    while True:
+        if spec.style == "cnn":
+            block_cost = 16  # fire module: 3 conv blocks + merge
+            build_block: Callable[[Value], Value] = graph.fire_module
+        else:
+            block_cost = 19  # attention (13) + FFN (6)
+            build_block = lambda s: graph.ffn_block(  # noqa: E731
+                graph.attention_block(s)
+            )
+        if graph.remaining(spec.n_ops) < block_cost:
+            break
+        state = build_block(state)
+    state = graph.filler(state, graph.remaining(spec.n_ops))
+    func.return_(builder, [state])
+    module.verify()
+    return module
+
+
+def count_ops(module: Operation, prefix: str = "tosa.") -> int:
+    """Count ops with the given dialect prefix (Table 1's '# Ops')."""
+    return sum(
+        1 for op in module.walk() if op.name.startswith(prefix)
+    )

@@ -1,0 +1,234 @@
+"""Canonicalization: local simplification patterns + dead code elimination.
+
+Dialects contribute patterns to :data:`CANONICALIZATION_PATTERNS`; the
+pass runs them greedily and sweeps unused pure operations, mirroring
+MLIR's ``canonicalize``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir.attributes import IntegerAttr
+from ..ir.core import Commutative, Operation, Pure
+from ..rewrite.greedy import apply_patterns_greedily
+from ..rewrite.pattern import PatternRewriter, RewritePattern, pattern
+from .manager import Pass, register_pass
+
+#: Patterns run by the canonicalize pass; extend via register_canonicalization.
+CANONICALIZATION_PATTERNS: List[RewritePattern] = []
+
+
+def register_canonicalization(pat: RewritePattern) -> RewritePattern:
+    CANONICALIZATION_PATTERNS.append(pat)
+    return pat
+
+
+def _constant_value(value) -> object:
+    """The integer/float payload when defined by arith.constant, else None."""
+    defining = value.defining_op()
+    if defining is not None and defining.name == "arith.constant":
+        return defining.value
+    return None
+
+
+_INT_FOLDS = {
+    "arith.addi": lambda a, b: a + b,
+    "arith.subi": lambda a, b: a - b,
+    "arith.muli": lambda a, b: a * b,
+    "arith.divsi": lambda a, b: int(a / b) if b else None,
+    "arith.remsi": lambda a, b: a - int(a / b) * b if b else None,
+    "arith.andi": lambda a, b: a & b,
+    "arith.ori": lambda a, b: a | b,
+    "arith.xori": lambda a, b: a ^ b,
+    "arith.maxsi": max,
+    "arith.minsi": min,
+}
+
+_FLOAT_FOLDS = {
+    "arith.addf": lambda a, b: a + b,
+    "arith.subf": lambda a, b: a - b,
+    "arith.mulf": lambda a, b: a * b,
+    "arith.divf": lambda a, b: a / b if b else None,
+    "arith.maximumf": max,
+    "arith.minimumf": min,
+}
+
+
+@register_canonicalization
+@pattern(label="fold-constant-arith")
+def fold_constant_arith(op: Operation, rewriter: PatternRewriter) -> bool:
+    """Fold binary arith ops whose operands are both constants."""
+    fold = _INT_FOLDS.get(op.name) or _FLOAT_FOLDS.get(op.name)
+    if fold is None or op.num_operands != 2:
+        return False
+    lhs = _constant_value(op.operand(0))
+    rhs = _constant_value(op.operand(1))
+    if lhs is None or rhs is None:
+        return False
+    result = fold(lhs, rhs)
+    if result is None:
+        return False
+    from ..dialects import arith
+
+    rewriter.set_insertion_point_before(op)
+    folded = arith.constant(rewriter, result, op.results[0].type)
+    rewriter.replace_op(op, [folded])
+    return True
+
+
+_IDENTITY_RIGHT = {
+    "arith.addi": 0,
+    "arith.subi": 0,
+    "arith.muli": 1,
+    "arith.divsi": 1,
+    "arith.addf": 0.0,
+    "arith.subf": 0.0,
+    "arith.mulf": 1.0,
+    "arith.divf": 1.0,
+    "arith.ori": 0,
+    "arith.xori": 0,
+    "arith.shli": 0,
+}
+
+
+@register_canonicalization
+@pattern(label="fold-identity")
+def fold_identity(op: Operation, rewriter: PatternRewriter) -> bool:
+    """``x + 0 -> x``, ``x * 1 -> x`` and commuted variants."""
+    identity = _IDENTITY_RIGHT.get(op.name)
+    if identity is None or op.num_operands != 2:
+        return False
+    rhs = _constant_value(op.operand(1))
+    if rhs == identity:
+        rewriter.replace_op(op, [op.operand(0)])
+        return True
+    if op.has_trait(Commutative):
+        lhs = _constant_value(op.operand(0))
+        if lhs == identity:
+            rewriter.replace_op(op, [op.operand(1)])
+            return True
+    return False
+
+
+@register_canonicalization
+@pattern(label="fold-mul-zero")
+def fold_mul_zero(op: Operation, rewriter: PatternRewriter) -> bool:
+    """``x * 0 -> 0`` for integer multiplication."""
+    if op.name != "arith.muli":
+        return False
+    for operand in op.operands:
+        if _constant_value(operand) == 0:
+            from ..dialects import arith
+
+            rewriter.set_insertion_point_before(op)
+            zero = arith.constant(rewriter, 0, op.results[0].type)
+            rewriter.replace_op(op, [zero])
+            return True
+    return False
+
+
+_CMPI_FOLDS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+    "ult": lambda a, b: a < b,
+    "ule": lambda a, b: a <= b,
+    "ugt": lambda a, b: a > b,
+    "uge": lambda a, b: a >= b,
+}
+
+
+@register_canonicalization
+@pattern("arith.cmpi", label="fold-constant-cmpi")
+def fold_constant_cmpi(op: Operation, rewriter: PatternRewriter) -> bool:
+    lhs = _constant_value(op.operand(0))
+    rhs = _constant_value(op.operand(1))
+    if lhs is None or rhs is None:
+        return False
+    predicate = op.predicate  # type: ignore[attr-defined]
+    outcome = _CMPI_FOLDS[predicate](lhs, rhs)
+    from ..dialects import arith
+    from ..ir.types import I1
+
+    rewriter.set_insertion_point_before(op)
+    folded = arith.constant(rewriter, int(outcome), I1)
+    rewriter.replace_op(op, [folded])
+    return True
+
+
+@register_canonicalization
+@pattern("arith.select", label="fold-constant-select")
+def fold_constant_select(op: Operation, rewriter: PatternRewriter) -> bool:
+    cond = _constant_value(op.operand(0))
+    if cond is None:
+        return False
+    rewriter.replace_op(op, [op.operand(1) if cond else op.operand(2)])
+    return True
+
+
+@register_canonicalization
+@pattern("scf.for", label="drop-zero-trip-loop")
+def drop_zero_trip_loop(op: Operation, rewriter: PatternRewriter) -> bool:
+    """Remove loops with a statically empty iteration domain."""
+    trip = op.trip_count()  # type: ignore[attr-defined]
+    if trip != 0:
+        return False
+    rewriter.replace_op(op, list(op.init_args))  # type: ignore[attr-defined]
+    return True
+
+
+@register_canonicalization
+@pattern("scf.if", label="fold-constant-if")
+def fold_constant_if(op: Operation, rewriter: PatternRewriter) -> bool:
+    """Inline the taken branch when the condition is constant."""
+    cond = _constant_value(op.operand(0))
+    if cond is None:
+        return False
+    taken = op.then_block if cond else op.else_block  # type: ignore[attr-defined]
+    if taken is None:
+        rewriter.erase_op(op)
+        return True
+    yield_op = taken.terminator
+    yielded = list(yield_op.operands) if yield_op is not None else []
+    if yield_op is not None:
+        rewriter.erase_op(yield_op)
+    rewriter.inline_block_before(taken, op)
+    rewriter.replace_op(op, yielded)
+    return True
+
+
+def eliminate_dead_code(root: Operation) -> bool:
+    """Erase unused pure ops (iterates to handle chains)."""
+    changed = False
+    while True:
+        dead = [
+            op
+            for op in root.walk()
+            if op is not root
+            and op.parent is not None
+            and op.has_trait(Pure)
+            and op.results
+            and not any(r.has_uses() for r in op.results)
+        ]
+        if not dead:
+            return changed
+        for op in dead:
+            if op.parent is not None:
+                op.erase()
+        changed = True
+
+
+@register_pass
+class CanonicalizePass(Pass):
+    """Greedy canonicalization + DCE, like MLIR's ``canonicalize``."""
+
+    NAME = "canonicalize"
+    DESCRIPTION = "apply canonicalization patterns and eliminate dead code"
+
+    def run(self, op: Operation) -> None:
+        apply_patterns_greedily(op, CANONICALIZATION_PATTERNS)
+        eliminate_dead_code(op)

@@ -1,0 +1,125 @@
+"""Function inlining.
+
+Used both as a payload optimization and — crucially for §3.4 of the
+paper — to expand ``transform.include`` macros, since named transform
+sequences are function-like objects handled by the ordinary inliner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.builder import Builder
+from ..ir.context import lookup_symbol
+from ..ir.core import Operation, Value
+from .manager import Pass, register_pass
+
+
+class InliningError(Exception):
+    pass
+
+
+def inline_call(call_op: Operation, callee: Operation) -> None:
+    """Inline ``callee``'s single-block body at ``call_op``.
+
+    Arguments are substituted for block parameters; the terminator's
+    operands replace the call results.
+    """
+    if not callee.regions or not callee.regions[0].blocks:
+        raise InliningError(f"cannot inline declaration {callee.name}")
+    if len(callee.regions[0].blocks) != 1:
+        raise InliningError("multi-block inlining is not supported")
+
+    value_map: Dict[Value, Value] = {}
+    body = callee.regions[0].entry_block
+    if len(body.args) != call_op.num_operands:
+        raise InliningError("call argument count mismatch")
+    for arg, actual in zip(body.args, call_op.operands):
+        value_map[arg] = actual
+
+    target = call_op.parent
+    assert target is not None
+    builder = Builder.before(call_op)
+    returned = []
+    for op in body.ops:
+        if op is body.ops[-1] and op.name in (
+            "func.return", "transform.yield"
+        ):
+            returned = [value_map.get(v, v) for v in op.operands]
+            continue
+        builder.insert(op.clone(value_map))
+    call_op.replace_all_uses_with(returned)
+    call_op.erase()
+
+
+def find_callee(call_op: Operation, callee_attr: str = "callee") -> Optional[Operation]:
+    attr = call_op.attr(callee_attr)
+    if attr is None:
+        return None
+    name = getattr(attr, "name", None) or getattr(attr, "value", None)
+    if not isinstance(name, str):
+        return None
+    return lookup_symbol(call_op, name)
+
+
+def detect_recursion(module: Operation, call_name: str = "func.call") -> bool:
+    """True when the call graph under ``module`` has a cycle."""
+    edges: Dict[str, set] = {}
+    for func_op in module.walk_ops("func.func"):
+        caller = func_op.attr("sym_name").value  # type: ignore[union-attr]
+        edges.setdefault(caller, set())
+        for call_op in func_op.walk_ops(call_name):
+            callee = call_op.attr("callee")
+            if callee is not None:
+                edges[caller].add(callee.name)  # type: ignore[union-attr]
+
+    visiting: set = set()
+    done: set = set()
+
+    def visit(node: str) -> bool:
+        if node in done:
+            return False
+        if node in visiting:
+            return True
+        visiting.add(node)
+        for succ in edges.get(node, ()):
+            if visit(succ):
+                return True
+        visiting.discard(node)
+        done.add(node)
+        return False
+
+    return any(visit(node) for node in list(edges))
+
+
+@register_pass
+class InlinerPass(Pass):
+    """Inline every ``func.call`` whose callee is a defined function.
+
+    With ``always=False`` (default) only callees annotated with an
+    ``inline`` unit attribute are expanded.
+    """
+
+    NAME = "inline"
+    DESCRIPTION = "inline function calls"
+
+    def __init__(self, always: bool = False, **options) -> None:
+        super().__init__(always=always, **options)
+        self.always = bool(always)
+
+    def run(self, op: Operation) -> None:
+        if detect_recursion(op):
+            raise InliningError("recursive call graph; refusing to inline")
+        changed = True
+        while changed:
+            changed = False
+            for call_op in list(op.walk_ops("func.call")):
+                if call_op.parent is None:
+                    continue
+                callee = find_callee(call_op)
+                if callee is None or not callee.regions[0].blocks:
+                    continue
+                if not self.always and callee.attr("inline") is None:
+                    continue
+                inline_call(call_op, callee)
+                changed = True

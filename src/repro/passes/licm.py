@@ -1,0 +1,57 @@
+"""Loop-invariant code motion."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.core import Operation, Pure, Value
+from .manager import Pass, register_pass
+
+
+def is_loop_invariant(op: Operation, loop: Operation) -> bool:
+    """Pure, no regions, and no operand defined inside the loop."""
+    if not op.has_trait(Pure) or op.regions:
+        return False
+    for operand in op.operands:
+        defining = operand.defining_op()
+        if defining is not None and loop.is_ancestor_of(defining):
+            return False
+        owner = operand.owner
+        # Block arguments of the loop body (induction variable etc.).
+        if not isinstance(owner, Operation):
+            block_parent = owner.parent_op
+            if block_parent is not None and loop.is_ancestor_of(block_parent):
+                return False
+    return True
+
+
+def hoist_loop_invariants(loop: Operation) -> int:
+    """Move invariant ops of ``loop``'s body before the loop; returns count."""
+    if loop.parent is None:
+        raise ValueError("cannot hoist out of a detached loop")
+    hoisted = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in loop.regions[0].blocks:
+            for op in list(block.ops):
+                if op.has_trait(Pure) and is_loop_invariant(op, loop):
+                    op.move_before(loop)
+                    hoisted += 1
+                    changed = True
+    return hoisted
+
+
+@register_pass
+class LICMPass(Pass):
+    """Hoist loop-invariant pure ops out of every scf.for."""
+
+    NAME = "loop-invariant-code-motion"
+    DESCRIPTION = "hoist loop-invariant computations out of loops"
+
+    def run(self, op: Operation) -> None:
+        # Innermost first so invariants bubble all the way out.
+        loops = [o for o in op.walk() if o.name == "scf.for"]
+        for loop in reversed(loops):
+            if loop.parent is not None:
+                hoist_loop_invariants(loop)

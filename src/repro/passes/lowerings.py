@@ -1,0 +1,906 @@
+"""Progressive lowering passes (the Table-2 pipeline of the paper).
+
+Seven passes take a mixed scf/arith/memref/func program down to the
+LLVM dialect:
+
+1. ``convert-scf-to-cf``       — structured control flow to branches
+2. ``convert-arith-to-llvm``   — arithmetic to LLVM ops
+3. ``convert-cf-to-llvm``      — branches to LLVM branches
+4. ``convert-func-to-llvm``    — functions/calls/returns to LLVM
+5. ``expand-strided-metadata`` — externalize non-trivial memref addressing
+   (this is the pass that *introduces* ``affine.apply`` — the culprit of
+   the case-study-2 pipeline failure)
+6. ``finalize-memref-to-llvm`` — trivially-indexed memrefs to pointers
+7. ``reconcile-unrealized-casts`` — cancel temporary casts, or fail with
+   MLIR's exact error message
+
+plus ``lower-affine``, the fix that legalizes the leaked affine ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.affine import AffineConstant, AffineDim, AffineExpr, AffineMap, AffineSymbol
+from ..ir.attributes import DenseIntAttr, StringAttr, SymbolRefAttr
+from ..ir.builder import Builder
+from ..ir.core import Block, Operation, Value
+from ..ir.types import (
+    DYNAMIC,
+    I64,
+    IndexType,
+    LLVMPointerType,
+    MemRefType,
+    Type,
+)
+from ..rewrite.conversion import (
+    ConversionError,
+    ConversionTarget,
+    TypeConverter,
+    apply_conversion,
+)
+from ..rewrite.pattern import PatternRewriter, pattern
+from .manager import Pass, register_pass
+
+# ---------------------------------------------------------------------------
+# Shared LLVM type converter
+# ---------------------------------------------------------------------------
+
+
+def llvm_type_converter(convert_memref: bool = True) -> TypeConverter:
+    converter = TypeConverter()
+
+    def convert(type: Type) -> Optional[Type]:
+        if isinstance(type, IndexType):
+            return I64
+        if convert_memref and isinstance(type, MemRefType):
+            return LLVMPointerType()
+        return None
+
+    converter.add_conversion(convert)
+    return converter
+
+
+# ---------------------------------------------------------------------------
+# 1. convert-scf-to-cf
+# ---------------------------------------------------------------------------
+
+
+def _outermost_scf_ops(root: Operation) -> List[Operation]:
+    """scf.for/if/forall ops with no scf ancestor (lowered first)."""
+    found: List[Operation] = []
+
+    def visit(op: Operation) -> None:
+        if op.name in ("scf.for", "scf.if", "scf.forall"):
+            found.append(op)
+            return  # do not descend; inner ones are handled next round
+        for region in op.regions:
+            for block in region.blocks:
+                for nested in list(block.ops):
+                    visit(nested)
+
+    visit(root)
+    return found
+
+
+def _split_block_after(op: Operation, arg_types: List[Type]) -> Block:
+    """Move everything after ``op`` into a fresh successor block."""
+    block = op.parent
+    assert block is not None and block.parent is not None
+    region = block.parent
+    continuation = Block(arg_types)
+    position = block.ops.index(op)
+    for trailing in list(block.ops[position + 1 :]):
+        block.remove(trailing)
+        continuation.append(trailing)
+    region.insert_block(region.blocks.index(block) + 1, continuation)
+    return continuation
+
+
+def lower_scf_for(for_op: Operation) -> None:
+    """Classic CFG lowering: entry -> cond -> body -> cond / continue."""
+    from ..dialects import arith, cf, scf  # local to avoid import cycles
+
+    block = for_op.parent
+    assert block is not None and block.parent is not None
+    region = block.parent
+
+    iter_types = [v.type for v in for_op.operands[3:]]
+    continuation = _split_block_after(for_op, iter_types)
+    for result, arg in zip(for_op.results, continuation.args):
+        result.replace_all_uses_with(arg)
+
+    cond_block = Block([IndexType(), *iter_types])
+    region.insert_block(region.blocks.index(block) + 1, cond_block)
+
+    body_block = for_op.regions[0].entry_block
+    # Remap body block arguments (iv + iter args) to the condition
+    # block's arguments, then strip them: the body becomes a plain block.
+    for body_arg, cond_arg in zip(list(body_block.args), cond_block.args):
+        body_arg.replace_all_uses_with(cond_arg)
+    body_block.args = []
+    for_op.regions[0].remove_block(body_block)
+    region.insert_block(region.blocks.index(cond_block) + 1, body_block)
+
+    lb, ub, step = for_op.operands[0], for_op.operands[1], for_op.operands[2]
+    inits = for_op.operands[3:]
+
+    # Terminate the entry block with a jump into the condition block.
+    entry_builder = Builder.at_end(block)
+    for_op.drop_all_references()
+    block.remove(for_op)
+    cf.br(entry_builder, cond_block, [lb, *inits])
+
+    # Condition block: iv < ub ? body : continuation.
+    cond_builder = Builder.at_end(cond_block)
+    in_bounds = arith.cmpi(cond_builder, "slt", cond_block.args[0], ub)
+    cf.cond_br(
+        cond_builder,
+        in_bounds,
+        body_block,
+        continuation,
+        true_args=[],
+        false_args=list(cond_block.args[1:]),
+    )
+
+    # Body terminator: increment the induction variable and loop back.
+    yield_op = body_block.ops[-1]
+    assert yield_op.name == "scf.yield"
+    yielded = list(yield_op.operands)
+    body_builder = Builder.before(yield_op)
+    next_iv = arith.addi(body_builder, cond_block.args[0], step)
+    yield_op.drop_all_references()
+    body_block.remove(yield_op)
+    body_builder = Builder.at_end(body_block)
+    cf.br(body_builder, cond_block, [next_iv, *yielded])
+
+
+def lower_scf_if(if_op: Operation) -> None:
+    from ..dialects import cf
+
+    block = if_op.parent
+    assert block is not None and block.parent is not None
+    region = block.parent
+
+    result_types = [r.type for r in if_op.results]
+    continuation = _split_block_after(if_op, result_types)
+    for result, arg in zip(if_op.results, continuation.args):
+        result.replace_all_uses_with(arg)
+
+    branch_blocks: List[Block] = []
+    for branch_region in if_op.regions:
+        if not branch_region.blocks:
+            branch_blocks.append(continuation)
+            continue
+        branch_block = branch_region.entry_block
+        branch_region.remove_block(branch_block)
+        region.insert_block(region.blocks.index(block) + 1, branch_block)
+        terminator = branch_block.ops[-1] if branch_block.ops else None
+        yielded: List[Value] = []
+        if terminator is not None and terminator.name == "scf.yield":
+            yielded = list(terminator.operands)
+            terminator.drop_all_references()
+            branch_block.remove(terminator)
+        cf.br(Builder.at_end(branch_block), continuation, yielded)
+        branch_blocks.append(branch_block)
+    while len(branch_blocks) < 2:
+        branch_blocks.append(continuation)
+
+    condition = if_op.operand(0)
+    builder = Builder.at_end(block)
+    if_op.drop_all_references()
+    block.remove(if_op)
+    cf.cond_br(builder, condition, branch_blocks[0], branch_blocks[1])
+
+
+def lower_scf_forall(forall_op: Operation) -> None:
+    """Rewrite scf.forall into a nest of scf.for (then lowered normally)."""
+    from ..dialects import arith, scf
+
+    builder = Builder.before(forall_op)
+    zero = arith.index_constant(builder, 0)
+    one = arith.index_constant(builder, 1)
+
+    bounds = list(forall_op.operands)
+    body = forall_op.regions[0].entry_block
+
+    outer: Optional[Operation] = None
+    ivs: List[Value] = []
+    inner_builder = builder
+    for bound in bounds:
+        loop = scf.for_(inner_builder, zero, bound, one)
+        if outer is None:
+            outer = loop
+        ivs.append(loop.induction_var)
+        inner_builder = Builder.at_end(loop.body)
+        if bound is not bounds[-1]:
+            pass
+    # Move the forall body into the innermost loop.
+    innermost_block = inner_builder.ip.block
+    for arg, iv in zip(list(body.args), ivs):
+        arg.replace_all_uses_with(iv)
+    for op in list(body.ops):
+        body.remove(op)
+        innermost_block.append(op)
+    terminator = innermost_block.ops[-1] if innermost_block.ops else None
+    if terminator is None or terminator.name != "scf.yield":
+        scf.yield_(Builder.at_end(innermost_block))
+    # Close intermediate loops with yields.
+    current = outer
+    while current is not None and current.name == "scf.for":
+        block = current.regions[0].entry_block
+        if not block.ops or block.ops[-1].name != "scf.yield":
+            scf.yield_(Builder.at_end(block))
+        nested = [o for o in block.ops if o.name == "scf.for"]
+        current = nested[0] if nested else None
+    forall_op.erase()
+
+
+@register_pass
+class ConvertSCFToCFPass(Pass):
+    NAME = "convert-scf-to-cf"
+    DESCRIPTION = "lower structured control flow to basic blocks"
+    #: Declared pre-/post-conditions (paper Fig. 2 / Table 2 row 1).
+    PRECONDITIONS = {"scf.*"}
+    POSTCONDITIONS = {"cf.br", "cf.cond_br", "arith.addi", "arith.cmpi",
+                      "arith.constant", "builtin.unrealized_conversion_cast"}
+
+    def run(self, op: Operation) -> None:
+        while True:
+            outermost = _outermost_scf_ops(op)
+            if not outermost:
+                return
+            for scf_op in outermost:
+                if scf_op.parent is None:
+                    continue
+                if scf_op.name == "scf.for":
+                    lower_scf_for(scf_op)
+                elif scf_op.name == "scf.if":
+                    lower_scf_if(scf_op)
+                elif scf_op.name == "scf.forall":
+                    lower_scf_forall(scf_op)
+
+
+# ---------------------------------------------------------------------------
+# 2. convert-arith-to-llvm
+# ---------------------------------------------------------------------------
+
+_ARITH_TO_LLVM = {
+    "arith.addi": "llvm.add",
+    "arith.subi": "llvm.sub",
+    "arith.muli": "llvm.mul",
+    "arith.divsi": "llvm.sdiv",
+    "arith.divui": "llvm.udiv",
+    "arith.remsi": "llvm.srem",
+    "arith.andi": "llvm.and",
+    "arith.ori": "llvm.or",
+    "arith.xori": "llvm.xor",
+    "arith.shli": "llvm.shl",
+    "arith.shrsi": "llvm.ashr",
+    "arith.addf": "llvm.fadd",
+    "arith.subf": "llvm.fsub",
+    "arith.mulf": "llvm.fmul",
+    "arith.divf": "llvm.fdiv",
+    "arith.select": "llvm.select",
+    "arith.index_cast": "llvm.sext",
+    "arith.sitofp": "llvm.sitofp",
+    "arith.fptosi": "llvm.fptosi",
+    "arith.extf": "llvm.fpext",
+    "arith.truncf": "llvm.fptrunc",
+    "arith.extsi": "llvm.sext",
+    "arith.extui": "llvm.zext",
+    "arith.trunci": "llvm.trunc",
+    "arith.bitcast": "llvm.bitcast",
+}
+
+
+@register_pass
+class ConvertArithToLLVMPass(Pass):
+    NAME = "convert-arith-to-llvm"
+    DESCRIPTION = "lower arith ops to the LLVM dialect"
+    PRECONDITIONS = {"arith.*"}
+    POSTCONDITIONS = {"llvm.add", "llvm.sub", "llvm.mul", "llvm.fadd",
+                      "llvm.fmul", "llvm.fdiv", "llvm.sdiv", "llvm.udiv",
+                      "llvm.icmp", "llvm.fcmp", "llvm.select",
+                      "llvm.constant", "llvm.sext", "llvm.and", "llvm.or",
+                      "llvm.xor", "llvm.srem", "llvm.fsub", "llvm.zext",
+                      "llvm.trunc", "llvm.sitofp", "llvm.fptosi",
+                      "llvm.fpext", "llvm.fptrunc", "llvm.bitcast",
+                      "llvm.shl", "llvm.ashr",
+                      "builtin.unrealized_conversion_cast"}
+
+    def run(self, op: Operation) -> None:
+        converter = llvm_type_converter(convert_memref=False)
+        target = ConversionTarget()
+        target.add_illegal_dialect("arith")
+        target.add_legal_dialect("llvm", "builtin")
+
+        @pattern(label="arith-to-llvm")
+        def convert(candidate: Operation, rewriter) -> bool:
+            if not candidate.name.startswith("arith."):
+                return False
+            operands = rewriter.remapped_operands(candidate)
+            result_types = [
+                converter.convert_type(r.type) for r in candidate.results
+            ]
+            if candidate.name == "arith.constant":
+                new_op = rewriter.create(
+                    "llvm.constant",
+                    result_types=result_types,
+                    attributes={"value": candidate.attr("value")},
+                )
+            elif candidate.name in ("arith.cmpi", "arith.cmpf"):
+                llvm_name = (
+                    "llvm.icmp" if candidate.name == "arith.cmpi"
+                    else "llvm.fcmp"
+                )
+                new_op = rewriter.create(
+                    llvm_name,
+                    operands=operands,
+                    result_types=result_types,
+                    attributes={"predicate": candidate.attr("predicate")},
+                )
+            elif candidate.name in ("arith.maxsi", "arith.minsi",
+                                    "arith.maximumf", "arith.minimumf"):
+                predicate = "sgt" if "max" in candidate.name else "slt"
+                cmp_name = (
+                    "llvm.icmp" if candidate.name.endswith("i")
+                    else "llvm.fcmp"
+                )
+                from ..ir.types import I1
+
+                cmp = rewriter.create(
+                    cmp_name,
+                    operands=operands,
+                    result_types=[I1],
+                    attributes={"predicate": predicate},
+                )
+                new_op = rewriter.create(
+                    "llvm.select",
+                    operands=[cmp.result, *operands],
+                    result_types=result_types,
+                )
+            else:
+                llvm_name = _ARITH_TO_LLVM.get(candidate.name)
+                if llvm_name is None:
+                    return False
+                new_op = rewriter.create(
+                    llvm_name, operands=operands, result_types=result_types
+                )
+            rewriter.replace_op(candidate, new_op.results)
+            return True
+
+        apply_conversion(op, [convert], target, converter)
+
+
+# ---------------------------------------------------------------------------
+# 3. convert-cf-to-llvm
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class ConvertCFToLLVMPass(Pass):
+    NAME = "convert-cf-to-llvm"
+    DESCRIPTION = "lower cf branches to LLVM branches"
+    PRECONDITIONS = {"cf.*"}
+    POSTCONDITIONS = {"llvm.br", "llvm.cond_br", "llvm.switch",
+                      "llvm.unreachable",
+                      "builtin.unrealized_conversion_cast"}
+
+    _MAP = {
+        "cf.br": "llvm.br",
+        "cf.cond_br": "llvm.cond_br",
+        "cf.switch": "llvm.switch",
+    }
+
+    def run(self, op: Operation) -> None:
+        converter = llvm_type_converter(convert_memref=False)
+        target = ConversionTarget()
+        target.add_illegal_dialect("cf")
+        target.add_legal_dialect("llvm", "builtin")
+
+        @pattern(label="cf-to-llvm")
+        def convert(candidate: Operation, rewriter) -> bool:
+            llvm_name = self._MAP.get(candidate.name)
+            if llvm_name is None:
+                return False
+            operands = rewriter.remapped_operands(candidate)
+            new_op = rewriter.create(
+                llvm_name,
+                operands=operands,
+                successors=list(candidate.successors),
+                attributes=dict(candidate.attributes),
+            )
+            rewriter.replace_op(candidate, new_op.results)
+            return True
+
+        apply_conversion(op, [convert], target, converter)
+
+
+# ---------------------------------------------------------------------------
+# 4. convert-func-to-llvm
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class ConvertFuncToLLVMPass(Pass):
+    NAME = "convert-func-to-llvm"
+    DESCRIPTION = "lower func.func/call/return to the LLVM dialect"
+    PRECONDITIONS = {"func.*"}
+    POSTCONDITIONS = {"llvm.func", "llvm.call", "llvm.return",
+                      "llvm.constant", "llvm.alloca", "llvm.load",
+                      "llvm.store", "llvm.undef",
+                      "builtin.unrealized_conversion_cast"}
+
+    def run(self, op: Operation) -> None:
+        from ..rewrite.conversion import ConversionRewriter
+
+        converter = llvm_type_converter(convert_memref=False)
+        rewriter = ConversionRewriter(converter)
+
+        for func_op in list(op.walk_ops("func.func")):
+            new_func = Operation.create(
+                "llvm.func",
+                regions=1,
+                attributes=dict(func_op.attributes),
+            )
+            region = func_op.regions[0]
+            for block in list(region.blocks):
+                region.remove_block(block)
+                new_func.regions[0].add_block(block)
+                rewriter.convert_block_signature(block)
+            parent = func_op.parent
+            assert parent is not None
+            parent.insert_before(func_op, new_func)
+            func_op.erase()
+
+        target = ConversionTarget()
+        target.add_illegal_dialect("func")
+        target.add_legal_dialect("llvm", "builtin")
+
+        @pattern(label="func-ops-to-llvm")
+        def convert(candidate: Operation, inner_rewriter) -> bool:
+            operands = inner_rewriter.remapped_operands(candidate)
+            result_types = [
+                converter.convert_type(r.type) for r in candidate.results
+            ]
+            if candidate.name == "func.return":
+                new_op = inner_rewriter.create(
+                    "llvm.return", operands=operands
+                )
+            elif candidate.name == "func.call":
+                new_op = inner_rewriter.create(
+                    "llvm.call",
+                    operands=operands,
+                    result_types=result_types,
+                    attributes={"callee": candidate.attr("callee")},
+                )
+            else:
+                return False
+            inner_rewriter.replace_op(candidate, new_op.results)
+            return True
+
+        apply_conversion(op, [convert], target, converter)
+
+
+# ---------------------------------------------------------------------------
+# 5. expand-strided-metadata
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class ExpandStridedMetadataPass(Pass):
+    """Externalize non-trivial memref addressing.
+
+    Subviews with a purely static zero-offset/unit-stride layout pass
+    through untouched. Non-trivial subviews are decomposed into
+    ``extract_strided_metadata`` + offset arithmetic +
+    ``reinterpret_cast``; *dynamic* offsets produce ``affine.apply``
+    index computations — the operation the rest of the Table-2 pipeline
+    does not expect (case study 2).
+    """
+
+    NAME = "expand-strided-metadata"
+    DESCRIPTION = "externalize non-trivial memref address computations"
+    PRECONDITIONS = {"memref.subview"}
+    POSTCONDITIONS = {"memref.subview.constr",
+                      "memref.extract_strided_metadata",
+                      "memref.reinterpret_cast",
+                      "memref.extract_aligned_pointer_as_index",
+                      "affine.apply", "affine.min", "arith.constant"}
+
+    def run(self, op: Operation) -> None:
+        from ..dialects import arith
+
+        for subview in list(op.walk_ops("memref.subview")):
+            if subview.parent is None:
+                continue
+            if subview.has_trivial_metadata:  # type: ignore[attr-defined]
+                continue
+            source_type = subview.source.type  # type: ignore[attr-defined]
+            assert isinstance(source_type, MemRefType)
+            strides = source_type.identity_strides()
+            builder = Builder.before(subview)
+
+            metadata = builder.create(
+                "memref.extract_strided_metadata",
+                operands=[subview.source],  # type: ignore[attr-defined]
+                result_types=[
+                    MemRefType((), source_type.element_type),
+                    IndexType(),
+                    *[IndexType()] * source_type.rank * 2,
+                ],
+            )
+
+            static_offsets = subview.static_offsets  # type: ignore[attr-defined]
+            dynamic_values = list(subview.dynamic_operands)  # type: ignore[attr-defined]
+
+            # Linear offset = sum(offset_i * stride_i). Static parts fold
+            # into a constant; dynamic parts become an affine.apply over
+            # symbols — the key op introduced by this lowering.
+            static_part = sum(
+                offset * stride
+                for offset, stride in zip(static_offsets, strides)
+                if offset != DYNAMIC
+            )
+            dynamic_exprs: List[AffineExpr] = []
+            dynamic_operands: List[Value] = []
+            dynamic_index = 0
+            for offset, stride in zip(static_offsets, strides):
+                if offset == DYNAMIC:
+                    dynamic_exprs.append(
+                        AffineSymbol(dynamic_index) * stride
+                    )
+                    dynamic_operands.append(dynamic_values[dynamic_index])
+                    dynamic_index += 1
+
+            if dynamic_exprs:
+                expr: AffineExpr = AffineConstant(static_part)
+                for term in dynamic_exprs:
+                    expr = expr + term
+                offset_map = AffineMap(0, len(dynamic_operands), (expr,))
+                from ..dialects import affine as affine_dialect
+
+                linear_offset = affine_dialect.apply(
+                    builder, offset_map, dynamic_operands
+                )
+            else:
+                linear_offset = arith.constant(
+                    builder, static_part, IndexType()
+                )
+
+            sizes = subview.static_sizes  # type: ignore[attr-defined]
+            result_type = MemRefType(
+                tuple(sizes), source_type.element_type
+            )
+            recast = builder.create(
+                "memref.reinterpret_cast",
+                operands=[metadata.results[0], linear_offset],
+                result_types=[result_type],
+                attributes={
+                    "static_sizes": DenseIntAttr(tuple(sizes)),
+                    "static_strides": DenseIntAttr(tuple(strides[-len(sizes):])) if sizes else DenseIntAttr(()),
+                },
+            )
+            subview.replace_all_uses_with([recast.result])
+            subview.erase()
+
+
+# ---------------------------------------------------------------------------
+# 6. finalize-memref-to-llvm
+# ---------------------------------------------------------------------------
+
+
+@register_pass
+class FinalizeMemRefToLLVMPass(Pass):
+    NAME = "finalize-memref-to-llvm"
+    DESCRIPTION = "lower trivially-indexed memrefs to LLVM pointers"
+    PRECONDITIONS = {"memref.subview.constr", "memref.load", "memref.store",
+                     "memref.alloc", "memref.dealloc",
+                     "memref.reinterpret_cast",
+                     "memref.extract_strided_metadata",
+                     "memref.extract_aligned_pointer_as_index"}
+    POSTCONDITIONS = {"llvm.add", "llvm.mul", "llvm.alloca", "llvm.br",
+                      "llvm.call", "llvm.constant", "llvm.load",
+                      "llvm.store", "llvm.getelementptr", "llvm.ptrtoint",
+                      "llvm.undef",
+                      "builtin.unrealized_conversion_cast"}
+
+    def run(self, op: Operation) -> None:
+        converter = llvm_type_converter(convert_memref=True)
+        target = ConversionTarget()
+        target.add_illegal_dialect("memref")
+        target.add_legal_dialect("llvm", "builtin")
+
+        from ..rewrite.conversion import ConversionRewriter
+
+        signature_rewriter = ConversionRewriter(converter)
+        for func_op in list(op.walk_ops("llvm.func")):
+            for block in func_op.regions[0].blocks:
+                signature_rewriter.convert_block_signature(block)
+
+        @pattern(label="memref-to-llvm")
+        def convert(candidate: Operation, rewriter) -> bool:
+            name = candidate.name
+            if not name.startswith("memref."):
+                return False
+            operands = rewriter.remapped_operands(candidate)
+            if name == "memref.load":
+                ref_type = candidate.operand(0).type
+                address = _linearized_address(
+                    rewriter, operands[0], operands[1:], ref_type
+                )
+                element = converter.convert_type(
+                    candidate.results[0].type
+                )
+                new_op = rewriter.create(
+                    "llvm.load", operands=[address], result_types=[element]
+                )
+                rewriter.replace_op(candidate, new_op.results)
+                return True
+            if name == "memref.store":
+                ref_type = candidate.operand(1).type
+                address = _linearized_address(
+                    rewriter, operands[1], operands[2:], ref_type
+                )
+                rewriter.create(
+                    "llvm.store", operands=[operands[0], address]
+                )
+                rewriter.replace_op(candidate, [])
+                return True
+            if name in ("memref.alloc", "memref.alloca"):
+                size = rewriter.create(
+                    "llvm.constant",
+                    result_types=[I64],
+                    attributes={"value": candidate.attr("byte_size") or 0},
+                )
+                new_op = rewriter.create(
+                    "llvm.call",
+                    operands=[size.result],
+                    result_types=[LLVMPointerType()],
+                    attributes={"callee": SymbolRefAttr("malloc")},
+                )
+                rewriter.replace_op(candidate, new_op.results)
+                return True
+            if name == "memref.dealloc":
+                rewriter.create(
+                    "llvm.call",
+                    operands=operands,
+                    attributes={"callee": SymbolRefAttr("free")},
+                )
+                rewriter.replace_op(candidate, [])
+                return True
+            if name == "memref.reinterpret_cast":
+                # base pointer + byte offset -> getelementptr
+                new_op = rewriter.create(
+                    "llvm.getelementptr",
+                    operands=operands[:2],
+                    result_types=[LLVMPointerType()],
+                )
+                rewriter.replace_op(candidate, new_op.results)
+                return True
+            if name == "memref.extract_strided_metadata":
+                source_type = candidate.operand(0).type
+                assert isinstance(source_type, MemRefType)
+                replacements: List[Value] = [operands[0]]
+                zero = rewriter.create(
+                    "llvm.constant", result_types=[I64],
+                    attributes={"value": 0},
+                )
+                replacements.append(zero.result)
+                for index, size in enumerate(source_type.shape):
+                    size_const = rewriter.create(
+                        "llvm.constant", result_types=[I64],
+                        attributes={"value": size},
+                    )
+                    replacements.append(size_const.result)
+                for stride in source_type.identity_strides():
+                    stride_const = rewriter.create(
+                        "llvm.constant", result_types=[I64],
+                        attributes={"value": stride},
+                    )
+                    replacements.append(stride_const.result)
+                rewriter.replace_op(
+                    candidate, replacements[: len(candidate.results)]
+                )
+                return True
+            if name == "memref.extract_aligned_pointer_as_index":
+                new_op = rewriter.create(
+                    "llvm.ptrtoint", operands=operands, result_types=[I64]
+                )
+                rewriter.replace_op(candidate, new_op.results)
+                return True
+            if name == "memref.subview":
+                if not candidate.has_trivial_metadata:  # type: ignore[attr-defined]
+                    return False  # cannot legalize non-trivial views here
+                rewriter.replace_op(candidate, [operands[0]])
+                return True
+            if name in ("memref.cast", "memref.copy", "memref.dim"):
+                if name == "memref.dim":
+                    return False
+                rewriter.replace_op(candidate, [operands[0]])
+                return True
+            return False
+
+        apply_conversion(op, [convert], target, converter)
+        self._adopt_converted_operands(op, converter)
+
+    @staticmethod
+    def _adopt_converted_operands(root: Operation,
+                                  converter: TypeConverter) -> None:
+        """Direct calling convention: llvm ops consuming a cast back to
+        a memref/index simply take the converted (ptr/i64) value.
+
+        Mirrors MLIR's bare-pointer call convention, where calls are
+        rewritten against the full LLVM type converter so no cast
+        survives at llvm-op operands.
+        """
+        for user in root.walk():
+            if not user.name.startswith("llvm."):
+                continue
+            for index, operand in enumerate(user.operands):
+                defining = operand.defining_op()
+                if (
+                    defining is not None
+                    and defining.name == CAST_NAME
+                    and converter.convert_type(operand.type)
+                    == defining.operand(0).type
+                ):
+                    user.set_operand(index, defining.operand(0))
+
+
+def _linearized_address(rewriter, base: Value, indices: List[Value],
+                        ref_type: Type) -> Value:
+    """getelementptr(base, sum(index_i * stride_i)) for static shapes."""
+    assert isinstance(ref_type, MemRefType)
+    strides = ref_type.identity_strides()
+    linear: Optional[Value] = None
+    for index_value, stride in zip(indices, strides):
+        stride_const = rewriter.create(
+            "llvm.constant", result_types=[I64], attributes={"value": stride}
+        )
+        term = rewriter.create(
+            "llvm.mul",
+            operands=[index_value, stride_const.result],
+            result_types=[I64],
+        )
+        if linear is None:
+            linear = term.result
+        else:
+            linear = rewriter.create(
+                "llvm.add", operands=[linear, term.result],
+                result_types=[I64],
+            ).result
+    if linear is None:
+        linear = rewriter.create(
+            "llvm.constant", result_types=[I64], attributes={"value": 0}
+        ).result
+    return rewriter.create(
+        "llvm.getelementptr",
+        operands=[base, linear],
+        result_types=[LLVMPointerType()],
+    ).result
+
+
+# ---------------------------------------------------------------------------
+# 7. reconcile-unrealized-casts
+# ---------------------------------------------------------------------------
+
+CAST_NAME = "builtin.unrealized_conversion_cast"
+
+
+def _fold_cast_chains(op: Operation) -> bool:
+    changed = False
+    for cast in list(op.walk_ops(CAST_NAME)):
+        if cast.parent is None:
+            continue
+        target_type = cast.results[0].type
+        # Walk up through any chain of casts; if some value along the
+        # chain already has the output type, the whole chain between
+        # them cancels (covers cast(x:T->T), pairs, and longer chains).
+        source: Optional[Value] = cast.operand(0)
+        replacement: Optional[Value] = None
+        seen = 0
+        while source is not None and seen < 32:
+            if source.type == target_type:
+                replacement = source
+                break
+            defining = source.defining_op()
+            if defining is None or defining.name != CAST_NAME:
+                break
+            source = defining.operand(0)
+            seen += 1
+        if replacement is not None:
+            cast.replace_all_uses_with([replacement])
+            cast.erase()
+            changed = True
+            continue
+        # unused cast
+        if not cast.results[0].has_uses():
+            cast.erase()
+            changed = True
+    return changed
+
+
+@register_pass
+class ReconcileUnrealizedCastsPass(Pass):
+    """Cancel matching cast pairs; fail on leftovers with MLIR's wording."""
+
+    NAME = "reconcile-unrealized-casts"
+    DESCRIPTION = "eliminate temporary conversion casts"
+    PRECONDITIONS = {CAST_NAME}
+    POSTCONDITIONS: set = set()
+
+    def run(self, op: Operation) -> None:
+        while _fold_cast_chains(op):
+            pass
+        for leftover in op.walk_ops(CAST_NAME):
+            raise ConversionError(
+                f"failed to legalize operation '{CAST_NAME}' that was "
+                "explicitly marked illegal",
+                leftover,
+            )
+
+
+# ---------------------------------------------------------------------------
+# lower-affine (the fix for case study 2)
+# ---------------------------------------------------------------------------
+
+
+def _expand_affine_expr(builder: Builder, expr: AffineExpr,
+                        dims: List[Value], symbols: List[Value]) -> Value:
+    from ..dialects import arith
+
+    if isinstance(expr, AffineConstant):
+        return arith.constant(builder, expr.value, IndexType())
+    if isinstance(expr, AffineDim):
+        return dims[expr.position]
+    if isinstance(expr, AffineSymbol):
+        return symbols[expr.position]
+    lhs = _expand_affine_expr(builder, expr.lhs, dims, symbols)  # type: ignore[attr-defined]
+    rhs = _expand_affine_expr(builder, expr.rhs, dims, symbols)  # type: ignore[attr-defined]
+    kind = expr.kind  # type: ignore[attr-defined]
+    if kind == "add":
+        return arith.addi(builder, lhs, rhs)
+    if kind == "mul":
+        return arith.muli(builder, lhs, rhs)
+    if kind in ("floordiv", "ceildiv"):
+        return arith.divsi(builder, lhs, rhs)
+    return arith.remsi(builder, lhs, rhs)
+
+
+@register_pass
+class LowerAffinePass(Pass):
+    NAME = "lower-affine"
+    DESCRIPTION = "expand affine.apply/min/max into arith ops"
+    PRECONDITIONS = {"affine.apply", "affine.min", "affine.max"}
+    POSTCONDITIONS = {"arith.addi", "arith.muli", "arith.divsi",
+                      "arith.remsi", "arith.constant", "arith.maxsi",
+                      "arith.minsi"}
+
+    def run(self, op: Operation) -> None:
+        from ..dialects import arith
+
+        for affine_op in list(op.walk()):
+            if affine_op.parent is None:
+                continue
+            if affine_op.name not in ("affine.apply", "affine.min",
+                                      "affine.max"):
+                continue
+            map_ = affine_op.map  # type: ignore[attr-defined]
+            builder = Builder.before(affine_op)
+            dims = affine_op.operands[: map_.num_dims]
+            symbols = affine_op.operands[map_.num_dims :]
+            values = [
+                _expand_affine_expr(builder, expr, dims, symbols)
+                for expr in map_.results
+            ]
+            combined = values[0]
+            for value in values[1:]:
+                combined = (
+                    arith.minsi(builder, combined, value)
+                    if affine_op.name == "affine.min"
+                    else arith.maxsi(builder, combined, value)
+                )
+            affine_op.replace_all_uses_with([combined])
+            affine_op.erase()

@@ -1,0 +1,156 @@
+"""The pass manager: registration, pipelines, timing.
+
+Passes are registered by name in :data:`PASS_REGISTRY` and assembled
+into pipelines either programmatically or from the textual form used on
+MLIR's command line (``pass-a,pass-b``). The manager records per-pass
+wall-clock timing — the measurement instrument for the Table-1
+compile-time study.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Type as PyType, Union
+
+from ..ir.core import Operation
+
+#: Global pass registry: name -> pass class.
+PASS_REGISTRY: Dict[str, PyType["Pass"]] = {}
+
+
+def register_pass(cls: PyType["Pass"]) -> PyType["Pass"]:
+    """Class decorator registering a pass under its ``NAME``."""
+    if not getattr(cls, "NAME", ""):
+        raise ValueError(f"{cls.__name__} lacks a NAME")
+    PASS_REGISTRY[cls.NAME] = cls
+    return cls
+
+
+class Pass:
+    """Base class of all passes. Subclasses mutate the op in ``run``."""
+
+    NAME: str = ""
+    #: One-line summary shown in ``--help``-style listings.
+    DESCRIPTION: str = ""
+
+    def __init__(self, **options) -> None:
+        self.options = options
+
+    def run(self, op: Operation) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<pass {self.NAME}>"
+
+
+class FunctionPass(Pass):
+    """A pass that runs independently on every ``func.func``."""
+
+    def run(self, op: Operation) -> None:
+        if op.name == "func.func":
+            self.run_on_function(op)
+            return
+        for func_op in list(op.walk_ops("func.func")):
+            self.run_on_function(func_op)
+
+    def run_on_function(self, func_op: Operation) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class PassTiming:
+    """Wall-clock timing of one pipeline execution."""
+
+    per_pass: List[tuple] = field(default_factory=list)  # (name, seconds)
+
+    @property
+    def total(self) -> float:
+        return sum(seconds for _, seconds in self.per_pass)
+
+    def render(self) -> str:
+        lines = ["===- Pass execution timing -==="]
+        for name, seconds in self.per_pass:
+            lines.append(f"  {seconds * 1e3:9.3f} ms  {name}")
+        lines.append(f"  {self.total * 1e3:9.3f} ms  total")
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs a sequence of passes over a module."""
+
+    def __init__(self, passes: Sequence[Union[str, Pass]] = (),
+                 verify_each: bool = False):
+        self.passes: List[Pass] = []
+        self.verify_each = verify_each
+        for entry in passes:
+            self.add(entry)
+
+    def add(self, entry: Union[str, Pass], **options) -> "PassManager":
+        """Append a pass (by instance or registered name)."""
+        if isinstance(entry, Pass):
+            self.passes.append(entry)
+            return self
+        cls = PASS_REGISTRY.get(entry)
+        if cls is None:
+            raise ValueError(f"unknown pass: {entry!r}")
+        self.passes.append(cls(**options))
+        return self
+
+    def run(self, module: Operation) -> PassTiming:
+        """Run the pipeline, returning per-pass timing."""
+        timing = PassTiming()
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            pass_.run(module)
+            timing.per_pass.append((pass_.NAME, time.perf_counter() - start))
+            if self.verify_each:
+                module.verify()
+        return timing
+
+    def pipeline_string(self) -> str:
+        return ",".join(p.NAME for p in self.passes)
+
+
+def parse_pipeline(text: str) -> PassManager:
+    """Parse ``"pass-a,pass-b(opt=1)"`` into a PassManager."""
+    manager = PassManager()
+    for chunk in _split_pipeline(text):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        options: Dict[str, object] = {}
+        name = chunk
+        if "(" in chunk:
+            name, _, option_text = chunk.partition("(")
+            option_text = option_text.rstrip(")")
+            for pair in option_text.split(","):
+                if not pair.strip():
+                    continue
+                key, _, raw = pair.partition("=")
+                value: object = raw.strip()
+                if isinstance(value, str) and value.isdigit():
+                    value = int(value)
+                options[key.strip()] = value
+        manager.add(name, **options)
+    return manager
+
+
+def _split_pipeline(text: str) -> List[str]:
+    """Split on commas not nested in parentheses."""
+    chunks: List[str] = []
+    depth = 0
+    current = ""
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            chunks.append(current)
+            current = ""
+        else:
+            current += char
+    if current:
+        chunks.append(current)
+    return chunks

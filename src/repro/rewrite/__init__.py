@@ -1,0 +1,28 @@
+"""Pattern rewriting and dialect conversion infrastructure."""
+
+from .pattern import (
+    PatternRewriter,
+    RewriteListener,
+    RewritePattern,
+    pattern,
+)
+from .greedy import GreedyRewriteConfig, apply_patterns_greedily
+from .conversion import (
+    ConversionError,
+    ConversionTarget,
+    TypeConverter,
+    apply_conversion,
+)
+
+__all__ = [
+    "ConversionError",
+    "ConversionTarget",
+    "GreedyRewriteConfig",
+    "PatternRewriter",
+    "RewriteListener",
+    "RewritePattern",
+    "TypeConverter",
+    "apply_conversion",
+    "apply_patterns_greedily",
+    "pattern",
+]

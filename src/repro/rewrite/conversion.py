@@ -1,0 +1,241 @@
+"""Dialect conversion: legality-driven lowering with type conversion.
+
+A simplified but behaviourally faithful model of MLIR's dialect
+conversion framework:
+
+* a :class:`ConversionTarget` declares which ops/dialects are legal,
+  illegal or dynamically legal;
+* a :class:`TypeConverter` maps source types to target types;
+* :func:`apply_conversion` drives patterns over illegal ops. When a
+  replacement value's type differs from the replaced result's type, a
+  ``builtin.unrealized_conversion_cast`` is materialized — exactly the
+  temporary ops whose failed reconciliation produces the case-study-2
+  error message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..ir.core import Block, Operation, Value
+from ..ir.types import Type
+from .pattern import PatternRewriter, RewriteListener, RewritePattern
+
+
+class ConversionError(Exception):
+    """Legalization failure, carrying the offending operation."""
+
+    def __init__(self, message: str, op: Optional[Operation] = None):
+        super().__init__(message)
+        self.op = op
+
+
+class TypeConverter:
+    """Converts source types to target types via registered callbacks."""
+
+    def __init__(self) -> None:
+        self._conversions: List[Callable[[Type], Optional[Type]]] = []
+
+    def add_conversion(self, fn: Callable[[Type], Optional[Type]]) -> None:
+        """Register a conversion; the last registered wins (MLIR order)."""
+        self._conversions.append(fn)
+
+    def convert_type(self, type: Type) -> Type:
+        for fn in reversed(self._conversions):
+            converted = fn(type)
+            if converted is not None:
+                return converted
+        return type
+
+    def is_legal_type(self, type: Type) -> bool:
+        return self.convert_type(type) == type
+
+
+class ConversionTarget:
+    """Declares op legality for a conversion."""
+
+    def __init__(self) -> None:
+        self.legal_dialects: Set[str] = set()
+        self.illegal_dialects: Set[str] = set()
+        self.legal_ops: Set[str] = set()
+        self.illegal_ops: Set[str] = set()
+        self.dynamic: Dict[str, Callable[[Operation], bool]] = {}
+
+    # -- declaration ----------------------------------------------------------
+
+    def add_legal_dialect(self, *names: str) -> "ConversionTarget":
+        self.legal_dialects.update(names)
+        return self
+
+    def add_illegal_dialect(self, *names: str) -> "ConversionTarget":
+        self.illegal_dialects.update(names)
+        return self
+
+    def add_legal_op(self, *names: str) -> "ConversionTarget":
+        self.legal_ops.update(names)
+        return self
+
+    def add_illegal_op(self, *names: str) -> "ConversionTarget":
+        self.illegal_ops.update(names)
+        return self
+
+    def add_dynamically_legal_op(
+        self, name: str, predicate: Callable[[Operation], bool]
+    ) -> "ConversionTarget":
+        self.dynamic[name] = predicate
+        return self
+
+    # -- queries ----------------------------------------------------------------
+
+    @staticmethod
+    def _dialect_of(op_name: str) -> str:
+        return op_name.split(".", 1)[0]
+
+    def legality(self, op: Operation) -> Optional[bool]:
+        """True = legal, False = illegal, None = unknown (kept as-is)."""
+        if op.name in self.dynamic:
+            return self.dynamic[op.name](op)
+        if op.name in self.legal_ops:
+            return True
+        if op.name in self.illegal_ops:
+            return False
+        dialect = self._dialect_of(op.name)
+        if dialect in self.legal_dialects:
+            return True
+        if dialect in self.illegal_dialects:
+            return False
+        return None
+
+    def explicitly_illegal(self, op: Operation) -> bool:
+        if op.name in self.dynamic:
+            return not self.dynamic[op.name](op)
+        return (
+            op.name in self.illegal_ops
+            or self._dialect_of(op.name) in self.illegal_dialects
+        )
+
+
+class ConversionRewriter(PatternRewriter):
+    """Pattern rewriter that materializes type-changing replacements."""
+
+    def __init__(self, type_converter: Optional[TypeConverter],
+                 listeners: Sequence[RewriteListener] = ()):
+        super().__init__(listeners)
+        self.type_converter = type_converter
+
+    def materialize_cast(self, value: Value, target_type: Type,
+                         before: Operation) -> Value:
+        """Insert an unrealized cast of ``value`` to ``target_type``."""
+        if value.type == target_type:
+            return value
+        self.set_insertion_point_before(before)
+        cast = self.create(
+            "builtin.unrealized_conversion_cast",
+            operands=[value],
+            result_types=[target_type],
+        )
+        return cast.result
+
+    def remapped_operands(self, op: Operation) -> List[Value]:
+        """Operands of ``op`` cast to their converted types.
+
+        Mirrors the adaptor values a ConversionPattern receives in MLIR.
+        """
+        if self.type_converter is None:
+            return op.operands
+        out: List[Value] = []
+        for value in op.operands:
+            target = self.type_converter.convert_type(value.type)
+            out.append(self.materialize_cast(value, target, op))
+        return out
+
+    def replace_op(self, op: Operation,
+                   new_values: Sequence[Value]) -> None:
+        """Replace, inserting casts back to original types when needed."""
+        adapted: List[Value] = []
+        for old_result, new_value in zip(op.results, new_values):
+            if new_value.type != old_result.type and old_result.has_uses():
+                # New values are defined before the op being replaced, so a
+                # cast right before the op post-dominates its definition.
+                self.set_insertion_point_before(op)
+                cast = self.create(
+                    "builtin.unrealized_conversion_cast",
+                    operands=[new_value],
+                    result_types=[old_result.type],
+                )
+                adapted.append(cast.result)
+            else:
+                adapted.append(new_value)
+        super().replace_op(op, adapted)
+
+    def convert_block_signature(self, block: Block) -> None:
+        """Convert block argument types in place, casting for old users."""
+        if self.type_converter is None:
+            return
+        for arg in block.args:
+            new_type = self.type_converter.convert_type(arg.type)
+            if new_type == arg.type:
+                continue
+            old_type = arg.type
+            arg.type = new_type
+            if arg.has_uses() and block.ops:
+                self.set_insertion_point_to_start(block)
+                cast = self.create(
+                    "builtin.unrealized_conversion_cast",
+                    operands=[arg],
+                    result_types=[old_type],
+                )
+                arg.replace_uses_where(
+                    cast.result, lambda use: use.owner is not cast
+                )
+
+
+def apply_conversion(
+    root: Operation,
+    patterns: Sequence[RewritePattern],
+    target: ConversionTarget,
+    type_converter: Optional[TypeConverter] = None,
+    extra_listeners: Sequence[RewriteListener] = (),
+    max_iterations: int = 10,
+) -> None:
+    """Legalize all ops under ``root`` against ``target``.
+
+    Raises :class:`ConversionError` with MLIR's wording when an
+    explicitly illegal operation cannot be legalized.
+    """
+    by_name: Dict[Optional[str], List[RewritePattern]] = {}
+    for pat in patterns:
+        by_name.setdefault(pat.root_name, []).append(pat)
+    generic = by_name.get(None, [])
+
+    rewriter = ConversionRewriter(type_converter, extra_listeners)
+
+    for _ in range(max_iterations):
+        changed = False
+        for op in list(root.walk()):
+            if op is root or op.parent is None:
+                continue
+            legality = target.legality(op)
+            if legality is not False:
+                continue
+            candidates = sorted(
+                [*by_name.get(op.name, []), *generic],
+                key=lambda p: -p.benefit,
+            )
+            for pat in candidates:
+                rewriter.set_insertion_point_before(op)
+                if pat.match_and_rewrite(op, rewriter):
+                    changed = True
+                    break
+        if not changed:
+            break
+
+    for op in root.walk():
+        if op is root or op.parent is None:
+            continue
+        if target.explicitly_illegal(op):
+            raise ConversionError(
+                f"failed to legalize operation '{op.name}' that was "
+                "explicitly marked illegal",
+                op,
+            )

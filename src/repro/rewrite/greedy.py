@@ -1,0 +1,129 @@
+"""The greedy pattern rewrite driver.
+
+Applies a set of patterns to all operations nested under a root until a
+fixed point is reached, mirroring MLIR's
+``applyPatternsAndFoldGreedily``. Newly created and modified operations
+are re-enqueued via the rewriter's listener mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.core import Operation, Pure, Value
+from .pattern import PatternRewriter, RewriteListener, RewritePattern
+
+
+@dataclass
+class GreedyRewriteConfig:
+    """Bounds for the fixpoint iteration."""
+
+    max_iterations: int = 10
+    #: Hard cap on individual rewrites, guarding against ping-ponging
+    #: pattern pairs.
+    max_rewrites: int = 100_000
+
+
+class _WorklistListener(RewriteListener):
+    """Feeds newly inserted/modified ops back into the driver worklist."""
+
+    def __init__(self) -> None:
+        self.pending: List[Operation] = []
+        self.erased: set = set()
+
+    def notify_op_inserted(self, op: Operation) -> None:
+        self.pending.append(op)
+
+    def notify_op_modified(self, op: Operation) -> None:
+        self.pending.append(op)
+
+    def notify_op_erased(self, op: Operation) -> None:
+        self.erased.add(id(op))
+
+
+def apply_patterns_greedily(
+    root: Operation,
+    patterns: Sequence[RewritePattern],
+    config: Optional[GreedyRewriteConfig] = None,
+    extra_listeners: Sequence[RewriteListener] = (),
+) -> bool:
+    """Apply ``patterns`` under ``root`` until fixpoint.
+
+    Returns True when the IR changed. The root op itself is not matched
+    (it anchors the traversal), matching MLIR's driver.
+    """
+    config = config or GreedyRewriteConfig()
+    by_name: Dict[Optional[str], List[RewritePattern]] = {}
+    for pat in patterns:
+        by_name.setdefault(pat.root_name, []).append(pat)
+    for bucket in by_name.values():
+        bucket.sort(key=lambda p: -p.benefit)
+    generic = by_name.get(None, [])
+
+    listener = _WorklistListener()
+    rewriter = PatternRewriter([listener, *extra_listeners])
+
+    changed_any = False
+    rewrites = 0
+    for _ in range(config.max_iterations):
+        worklist = [op for op in root.walk() if op is not root]
+        listener.pending = []
+        changed_this_round = False
+        index = 0
+        while index < len(worklist):
+            op = worklist[index]
+            index += 1
+            if id(op) in listener.erased or op.parent is None:
+                continue
+            candidates = by_name.get(op.name, [])
+            applicable = sorted(
+                [*candidates, *generic], key=lambda p: -p.benefit
+            )
+            for pat in applicable:
+                rewriter.set_insertion_point_before(op)
+                if pat.match_and_rewrite(op, rewriter):
+                    changed_this_round = True
+                    changed_any = True
+                    rewrites += 1
+                    if rewrites >= config.max_rewrites:
+                        raise RuntimeError(
+                            "greedy rewrite exceeded max_rewrites; "
+                            "likely a ping-ponging pattern pair"
+                        )
+                    break
+            if index >= len(worklist) and listener.pending:
+                fresh = [
+                    p for p in listener.pending
+                    if id(p) not in listener.erased and p.parent is not None
+                ]
+                listener.pending = []
+                worklist.extend(fresh)
+        # Like MLIR's applyPatternsAndFoldGreedily: sweep ops left dead
+        # by the rewrites before deciding whether a fixpoint is reached.
+        if _erase_dead_pure_ops(root, rewriter):
+            changed_this_round = True
+            changed_any = True
+        if not changed_this_round:
+            break
+    return changed_any
+
+
+def _erase_dead_pure_ops(root: Operation,
+                         rewriter: PatternRewriter) -> bool:
+    erased_any = False
+    changed = True
+    while changed:
+        changed = False
+        for op in list(root.walk(reverse=True)):
+            if (
+                op is not root
+                and op.parent is not None
+                and op.has_trait(Pure)
+                and op.results
+                and not any(r.has_uses() for r in op.results)
+            ):
+                rewriter.erase_op(op)
+                changed = True
+                erased_any = True
+    return erased_any

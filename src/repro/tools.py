@@ -1,0 +1,131 @@
+"""Command-line-style entry points (the ``mlir-opt`` analog).
+
+The paper's workflow keeps payload and transform script in separate
+files; :func:`transform_opt` mirrors that: both inputs are textual IR,
+the script is interpreted against the payload, and the transformed
+payload is printed back. A pass-pipeline mode mirrors plain
+``mlir-opt --pass-pipeline=...``.
+
+Usage from a shell::
+
+    python -m repro.tools payload.mlir --script schedule.mlir
+    python -m repro.tools payload.mlir --pipeline canonicalize,cse
+    python -m repro.tools payload.mlir --script schedule.mlir --check
+
+``--check`` additionally runs the static script verification
+(invalidation analysis) and the static pipeline condition check before
+interpreting anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import repro.core  # noqa: F401 — registers transform ops
+import repro.dialects  # noqa: F401 — registers payload ops
+import repro.passes  # noqa: F401 — registers passes
+from .core.conditions import payload_op_specs
+from .core.interpreter import TransformInterpreter
+from .core.invalidation import verify_script
+from .core.static_checker import check_transform_script
+from .ir.core import Operation
+from .ir.parser import parse
+from .ir.printer import print_op
+from .passes.manager import parse_pipeline
+
+
+class ToolError(Exception):
+    """A user-facing tool failure (bad input, failed check, ...)."""
+
+
+def transform_opt(
+    payload_text: str,
+    script_text: str,
+    entry_point: Optional[str] = None,
+    check: bool = False,
+    final_allowed: Sequence[str] = ("llvm.*",),
+) -> str:
+    """Apply a textual transform script to a textual payload.
+
+    Returns the transformed payload in textual form. With ``check``,
+    static script verification and the pipeline condition check run
+    first and abort on errors.
+    """
+    payload = parse(payload_text, "<payload>")
+    script = parse(script_text, "<script>")
+
+    if check:
+        errors = verify_script(script)
+        if errors:
+            raise ToolError(
+                "static script verification failed:\n"
+                + "\n".join(f"  {e}" for e in errors)
+            )
+        report = check_transform_script(
+            script, payload_op_specs(payload), final_allowed
+        )
+        if not report.ok:
+            raise ToolError(
+                "static pipeline check failed:\n" + report.render()
+            )
+
+    result = TransformInterpreter().apply(script, payload, entry_point)
+    if result.is_silenceable:
+        print(f"warning: {result}", file=sys.stderr)
+    payload.verify()
+    return print_op(payload)
+
+
+def pipeline_opt(payload_text: str, pipeline: str) -> str:
+    """Run a textual pass pipeline over a textual payload (mlir-opt)."""
+    payload = parse(payload_text, "<payload>")
+    parse_pipeline(pipeline).run(payload)
+    payload.verify()
+    return print_op(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-opt",
+        description="apply a transform script or pass pipeline to "
+        "payload IR",
+    )
+    parser.add_argument("payload", help="payload IR file ('-' = stdin)")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--script", help="transform script IR file")
+    group.add_argument("--pipeline", help="comma-separated pass names")
+    parser.add_argument("--entry-point", default=None,
+                        help="named sequence to run")
+    parser.add_argument("--check", action="store_true",
+                        help="run static checks before interpreting")
+    parser.add_argument("-o", "--output", default="-",
+                        help="output file ('-' = stdout)")
+    args = parser.parse_args(argv)
+
+    payload_text = (
+        sys.stdin.read() if args.payload == "-"
+        else open(args.payload).read()
+    )
+    try:
+        if args.script is not None:
+            script_text = open(args.script).read()
+            output = transform_opt(
+                payload_text, script_text, args.entry_point, args.check
+            )
+        else:
+            output = pipeline_opt(payload_text, args.pipeline)
+    except ToolError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.output == "-":
+        print(output)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(output + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

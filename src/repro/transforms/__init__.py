@@ -1,0 +1,45 @@
+"""Fine-grained transformation utilities ("hidden compiler features").
+
+These are the helper functions that, in upstream MLIR, exist inside
+passes but are not exposed to users. The Transform dialect
+(:mod:`repro.core`) surfaces each of them as a transform operation.
+"""
+
+from .loop import (
+    LoopTransformError,
+    fuse_sibling_loops,
+    hoist_loop_invariants_to,
+    interchange_loops,
+    peel_loop,
+    split_loop,
+    tile_loop,
+    tile_loop_nest,
+    unroll_loop,
+)
+from .microkernel import (
+    MatmulPattern,
+    MicrokernelLibrary,
+    XSMM_LIBRARY,
+    match_matmul_nest,
+    replace_with_library_call,
+)
+from .linalg_utils import generalize_named_op, lower_linalg_to_loops
+
+__all__ = [
+    "LoopTransformError",
+    "MatmulPattern",
+    "MicrokernelLibrary",
+    "XSMM_LIBRARY",
+    "fuse_sibling_loops",
+    "generalize_named_op",
+    "hoist_loop_invariants_to",
+    "interchange_loops",
+    "lower_linalg_to_loops",
+    "match_matmul_nest",
+    "peel_loop",
+    "replace_with_library_call",
+    "split_loop",
+    "tile_loop",
+    "tile_loop_nest",
+    "unroll_loop",
+]

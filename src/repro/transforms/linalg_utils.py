@@ -1,0 +1,134 @@
+"""Structured-op (linalg) transformation utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.builder import Builder
+from ..ir.core import Block, Operation, Value
+from ..ir.types import MemRefType, ShapedType, TensorType
+from .loop import LoopTransformError
+
+
+def generalize_named_op(op: Operation) -> Operation:
+    """Rewrite a named structured op into ``linalg.generic``.
+
+    The body mirrors the named op's contraction/elementwise semantics.
+    """
+    from ..dialects import linalg
+
+    body_ops = {
+        "linalg.matmul": ("arith.mulf", "arith.addf"),
+        "linalg.batch_matmul": ("arith.mulf", "arith.addf"),
+        "linalg.conv_2d_nhwc_hwcf": ("arith.mulf", "arith.addf"),
+        "linalg.depthwise_conv_2d_nhwc_hwc": ("arith.mulf", "arith.addf"),
+        "linalg.pooling_nhwc_max": (None, "arith.maximumf"),
+        "linalg.pooling_nhwc_sum": (None, "arith.addf"),
+        "linalg.fill": (None, None),
+    }
+    if op.name not in body_ops:
+        raise LoopTransformError(f"cannot generalize {op.name}")
+    if op.parent is None:
+        raise LoopTransformError("op is detached")
+
+    result_type = op.results[0].type if op.results else None
+    rank = (
+        result_type.rank
+        if isinstance(result_type, ShapedType)
+        else 2
+    )
+    iterator_types = ["parallel"] * rank + ["reduction"]
+
+    builder = Builder.before(op)
+    generic = builder.create(
+        "linalg.generic",
+        operands=list(op.operands),
+        result_types=[r.type for r in op.results],
+        attributes={
+            "n_inputs": max(1, op.num_operands - 1),
+            "iterator_types": iterator_types,
+            "generalized_from": op.name,
+        },
+        regions=1,
+    )
+    element_types = [
+        v.type.element_type if isinstance(v.type, ShapedType) else v.type
+        for v in op.operands
+    ]
+    body = Block(element_types)
+    generic.regions[0].add_block(body)
+    body_builder = Builder.at_end(body)
+    mul_name, add_name = body_ops[op.name]
+    current: Value = body.args[0]
+    if mul_name is not None and len(body.args) >= 2:
+        current = body_builder.create(
+            mul_name,
+            operands=[body.args[0], body.args[1]],
+            result_types=[element_types[0]],
+        ).result
+    if add_name is not None:
+        current = body_builder.create(
+            add_name,
+            operands=[current, body.args[-1]],
+            result_types=[element_types[0]],
+        ).result
+    body_builder.create("linalg.yield", operands=[current])
+    op.replace_all_uses_with(list(generic.results))
+    op.erase()
+    return generic
+
+
+def lower_linalg_to_loops(op: Operation) -> List[Operation]:
+    """Lower a memref-based ``linalg.matmul`` to an scf.for nest.
+
+    Returns the created loops outermost-first. Only the named matmul on
+    static memrefs is supported — enough for the case-study workloads.
+    """
+    from ..dialects import arith, memref as memref_dialect, scf
+
+    if op.name != "linalg.matmul":
+        raise LoopTransformError(
+            f"loop lowering implemented for linalg.matmul, got {op.name}"
+        )
+    if op.parent is None:
+        raise LoopTransformError("op is detached")
+    a, b, c = op.operands[0], op.operands[1], op.operands[2]
+    for operand in (a, b, c):
+        if not isinstance(operand.type, MemRefType):
+            raise LoopTransformError(
+                "loop lowering requires memref operands (bufferized form)"
+            )
+    a_type = a.type
+    b_type = b.type
+    assert isinstance(a_type, MemRefType) and isinstance(b_type, MemRefType)
+    m_size, k_size = a_type.shape
+    _, n_size = b_type.shape
+
+    builder = Builder.before(op)
+    zero = arith.index_constant(builder, 0)
+    one = arith.index_constant(builder, 1)
+    m_bound = arith.index_constant(builder, m_size)
+    n_bound = arith.index_constant(builder, n_size)
+    k_bound = arith.index_constant(builder, k_size)
+
+    loop_i = scf.for_(builder, zero, m_bound, one)
+    builder_i = Builder.at_end(loop_i.body)
+    loop_j = scf.for_(builder_i, zero, n_bound, one)
+    builder_j = Builder.at_end(loop_j.body)
+    loop_k = scf.for_(builder_j, zero, k_bound, one)
+    builder_k = Builder.at_end(loop_k.body)
+
+    i, j, k = (loop_i.induction_var, loop_j.induction_var,
+               loop_k.induction_var)
+    a_val = memref_dialect.load(builder_k, a, [i, k])
+    b_val = memref_dialect.load(builder_k, b, [k, j])
+    c_val = memref_dialect.load(builder_k, c, [i, j])
+    prod = arith.mulf(builder_k, a_val, b_val)
+    acc = arith.addf(builder_k, c_val, prod)
+    memref_dialect.store(builder_k, acc, c, [i, j])
+    scf.yield_(builder_k)
+    scf.yield_(Builder.at_end(loop_j.body))
+    scf.yield_(Builder.at_end(loop_i.body))
+
+    op.erase()
+    return [loop_i, loop_j, loop_k]

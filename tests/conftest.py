@@ -1,0 +1,23 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+# Importing the dialects registers every operation; tests rely on that.
+import repro.dialects  # noqa: F401
+import repro.passes  # noqa: F401
+import repro.core  # noqa: F401
+
+
+@pytest.fixture
+def matmul_module():
+    """A fresh 8x8x8 matmul module (small enough to interpret fast)."""
+    from repro.execution.workloads import build_matmul_module
+
+    return build_matmul_module(8, 8, 8)
+
+
+@pytest.fixture
+def resnet_module():
+    from repro.execution.workloads import build_resnet_layer_module
+
+    return build_resnet_layer_module()

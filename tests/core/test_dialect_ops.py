@@ -1,0 +1,318 @@
+"""Per-op behaviour tests for the transform dialect operations."""
+
+import pytest
+
+from repro.core import dialect as transform
+from repro.core.errors import TransformInterpreterError
+from repro.core.interpreter import TransformInterpreter
+from repro.execution.workloads import build_matmul_module
+from repro.ir import Builder, Operation
+
+
+def loops_of(module):
+    return [op for op in module.walk() if op.name == "scf.for"]
+
+
+def run(script, payload):
+    return TransformInterpreter().apply(script, payload)
+
+
+class TestMatchOp:
+    def test_match_all(self):
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        loops = transform.match_op(builder, root, "scf.for")
+        transform.print_(builder, loops, "m")
+        transform.yield_(builder)
+        interp = TransformInterpreter()
+        interp.apply(script, payload)
+        assert interp.output[0].count('"scf.for"') >= 3
+
+    def test_positions(self):
+        payload = build_matmul_module(4, 4, 4)
+        i_loop, j_loop, k_loop = loops_of(payload)
+        from repro.core.state import TransformState
+
+        for position, expected in (("first", i_loop),
+                                   ("second", j_loop),
+                                   ("last", k_loop)):
+            script, builder, root = transform.sequence()
+            matched = transform.match_op(builder, root, "scf.for",
+                                         position=position)
+            transform.yield_(builder)
+            interp = TransformInterpreter()
+            state = TransformState(payload)
+            state.set_payload(script.body.args[0], [payload])
+            interp.run_block(script.body, state)
+            assert state.get_payload(matched) == [expected]
+
+    def test_match_multiple_names(self):
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        matched = transform.match_op(
+            builder, root, ["memref.load", "memref.store"]
+        )
+        transform.print_(builder, matched, "accesses")
+        transform.yield_(builder)
+        interp = TransformInterpreter()
+        interp.apply(script, payload)
+        assert interp.output[0].count("memref.") == 4
+
+    def test_positioned_match_without_result_is_silenceable(self):
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        transform.match_op(builder, root, "tosa.add", position="first")
+        transform.yield_(builder)
+        result = run(script, payload)
+        assert result.is_silenceable
+
+
+class TestParams:
+    def test_param_constant_scalar_and_list(self):
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        scalar = transform.param_constant(builder, 8)
+        lst = transform.param_constant(builder, [4, 2])
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        # Use the scalar param as an unroll factor (2 divides 2).
+        builder.create(
+            "transform.loop.unroll", operands=[loop, lst],
+        )
+        transform.yield_(builder)
+        result = run(script, payload)
+        assert result.is_silenceable  # 4 does not divide trip 2
+
+    def test_param_drives_split(self):
+        payload = build_matmul_module(10, 2, 2)
+        script, builder, root = transform.sequence()
+        divisor = transform.param_constant(builder, 4)
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        main, rest = transform.loop_split(builder, loop, divisor)
+        transform.yield_(builder)
+        assert run(script, payload).succeeded
+        trip_counts = sorted(
+            l.trip_count() for l in loops_of(payload)[:2]
+        )
+        assert 8 in [l.trip_count() for l in loops_of(payload)]
+
+    def test_num_payload_ops(self):
+        from repro.core.state import TransformState
+
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        loops = transform.match_op(builder, root, "scf.for")
+        count = builder.create(
+            "transform.num_payload_ops", operands=[loops],
+            result_types=[transform.PARAM_I64],
+        )
+        transform.yield_(builder)
+        state = TransformState(payload)
+        state.set_payload(script.body.args[0], [payload])
+        TransformInterpreter().run_block(script.body, state)
+        assert state.get_param(count.results[0]) == [3]
+
+
+class TestLoopOps:
+    def test_tile_single(self):
+        payload = build_matmul_module(8, 4, 4)
+        script, builder, root = transform.sequence()
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        transform.loop_tile(builder, loop, [4])
+        transform.yield_(builder)
+        assert run(script, payload).succeeded
+        assert len(loops_of(payload)) == 4
+
+    def test_tile_without_sizes_is_definite(self):
+        payload = build_matmul_module(8, 4, 4)
+        script, builder, root = transform.sequence()
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        builder.create(
+            "transform.loop.tile", operands=[loop],
+            result_types=[transform.ANY_OP, transform.ANY_OP],
+        )
+        transform.yield_(builder)
+        with pytest.raises(TransformInterpreterError):
+            run(script, payload)
+
+    def test_tile_indivisible_is_silenceable(self):
+        payload = build_matmul_module(10, 4, 4)
+        script, builder, root = transform.sequence()
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        transform.loop_tile(builder, loop, [4])
+        transform.yield_(builder)
+        assert run(script, payload).is_silenceable
+
+    def test_interchange(self):
+        payload = build_matmul_module(4, 8, 2)
+        script, builder, root = transform.sequence()
+        outer = transform.match_op(builder, root, "scf.for",
+                                   position="first")
+        inner = transform.match_op(builder, root, "scf.for",
+                                   position="second")
+        transform.loop_interchange(builder, outer, inner)
+        transform.yield_(builder)
+        assert run(script, payload).succeeded
+        assert loops_of(payload)[0].trip_count() == 8
+
+    def test_hoist(self):
+        from repro.execution.workloads import build_uneven_loop_module
+
+        payload = build_uneven_loop_module()
+        script, builder, root = transform.sequence()
+        outer = transform.match_op(builder, root, "scf.for",
+                                   position="first")
+        function = transform.match_op(builder, root, "func.func",
+                                      position="last")
+        transform.loop_hoist(builder, outer, function)
+        transform.yield_(builder)
+        assert run(script, payload).succeeded
+
+    def test_vectorize_sets_attr(self):
+        payload = build_matmul_module(4, 4, 8)
+        script, builder, root = transform.sequence()
+        k_loop = transform.match_op(builder, root, "scf.for",
+                                    position="last")
+        transform.loop_vectorize(builder, k_loop, 8)
+        transform.yield_(builder)
+        assert run(script, payload).succeeded
+        assert loops_of(payload)[-1].attr("vector_width").value == 8
+
+    def test_vectorize_indivisible_is_silenceable(self):
+        payload = build_matmul_module(4, 4, 6)
+        script, builder, root = transform.sequence()
+        k_loop = transform.match_op(builder, root, "scf.for",
+                                    position="last")
+        transform.loop_vectorize(builder, k_loop, 8)
+        transform.yield_(builder)
+        assert run(script, payload).is_silenceable
+
+
+class TestHandleOps:
+    def test_merge_handles(self):
+        from repro.core.state import TransformState
+
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        first = transform.match_op(builder, root, "scf.for",
+                                   position="first")
+        last = transform.match_op(builder, root, "scf.for",
+                                  position="last")
+        merged = builder.create(
+            "transform.merge_handles", operands=[first, last],
+            result_types=[transform.ANY_OP],
+        )
+        transform.yield_(builder)
+        state = TransformState(payload)
+        state.set_payload(script.body.args[0], [payload])
+        TransformInterpreter().run_block(script.body, state)
+        assert len(state.get_payload(merged.results[0])) == 2
+
+    def test_split_handle(self):
+        from repro.core.state import TransformState
+
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        loops = transform.match_op(builder, root, "scf.for")
+        split = builder.create(
+            "transform.split_handle", operands=[loops],
+            result_types=[transform.ANY_OP] * 3,
+        )
+        transform.yield_(builder)
+        state = TransformState(payload)
+        state.set_payload(script.body.args[0], [payload])
+        TransformInterpreter().run_block(script.body, state)
+        for result in split.results:
+            assert len(state.get_payload(result)) == 1
+
+    def test_split_handle_arity_mismatch(self):
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        loops = transform.match_op(builder, root, "scf.for")
+        builder.create(
+            "transform.split_handle", operands=[loops],
+            result_types=[transform.ANY_OP] * 2,
+        )
+        transform.yield_(builder)
+        assert run(script, payload).is_silenceable
+
+    def test_get_parent_op(self):
+        from repro.core.state import TransformState
+
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        load = transform.match_op(builder, root, "memref.load",
+                                  position="first")
+        parent = builder.create(
+            "transform.get_parent_op", operands=[load],
+            result_types=[transform.ANY_OP],
+            attributes={"op_name": "func.func"},
+        )
+        transform.yield_(builder)
+        state = TransformState(payload)
+        state.set_payload(script.body.args[0], [payload])
+        TransformInterpreter().run_block(script.body, state)
+        assert state.get_payload(parent.results[0])[0].name == "func.func"
+
+
+class TestPassAndPatternApplication:
+    def test_apply_registered_pass(self):
+        payload = build_matmul_module(4, 4, 4)
+        # Introduce dead code the pass will clean.
+        f = next(payload.walk_ops("func.func"))
+        Builder.at_start(f.body).create(
+            "arith.constant", result_types=[],
+        )
+        script, builder, root = transform.sequence()
+        transform.apply_registered_pass(builder, root, "canonicalize")
+        transform.yield_(builder)
+        assert run(script, payload).succeeded
+
+    def test_unknown_pass_is_definite(self):
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        transform.apply_registered_pass(builder, root, "no-such-pass")
+        transform.yield_(builder)
+        with pytest.raises(TransformInterpreterError, match="unknown pass"):
+            run(script, payload)
+
+    def test_apply_patterns_with_registry(self):
+        from repro.core.dialect import register_transform_pattern
+        from repro.rewrite.pattern import pattern
+
+        @pattern("memref.load", label="strip-loads")
+        def strip(op, rewriter):
+            if op.attr("visited") is not None:
+                return False
+            rewriter.modify_op_in_place(
+                op, lambda: op.set_attr("visited", True)
+            )
+            return True
+
+        register_transform_pattern("test_strip_loads", lambda: strip)
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        transform.apply_patterns(builder, root, ["test_strip_loads"])
+        transform.yield_(builder)
+        assert run(script, payload).succeeded
+        loads = list(payload.walk_ops("memref.load"))
+        assert all(load.attr("visited") is not None for load in loads)
+
+    def test_unknown_pattern_is_definite(self):
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        transform.apply_patterns(builder, root, ["no_such_pattern"])
+        transform.yield_(builder)
+        with pytest.raises(TransformInterpreterError,
+                           match="unknown pattern"):
+            run(script, payload)
+
+    def test_pattern_names_listed(self):
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        op = transform.apply_patterns(builder, root, ["a", "b", "c"])
+        assert op.pattern_names() == ["a", "b", "c"]

@@ -1,0 +1,124 @@
+"""Tests for sequence failure-propagation modes and foreach results."""
+
+import pytest
+
+from repro.core import TransformInterpreter, dialect as transform
+from repro.core.state import TransformState
+from repro.execution.workloads import build_matmul_module
+from repro.ir import Block, Builder, Operation
+
+
+class TestSequenceFailureModes:
+    def make_script(self, mode):
+        script, builder, root = transform.sequence()
+        if mode is not None:
+            script.set_attr("failures", mode)
+        builder.create("transform.test.emit_silenceable",
+                       attributes={"message": "soft"})
+        transform.yield_(builder)
+        return script
+
+    def test_propagate_is_default(self):
+        payload = build_matmul_module(2, 2, 2)
+        result = TransformInterpreter().apply(
+            self.make_script(None), payload
+        )
+        assert result.is_silenceable
+
+    def test_suppress_turns_silenceable_into_success(self):
+        payload = build_matmul_module(2, 2, 2)
+        result = TransformInterpreter().apply(
+            self.make_script("suppress"), payload
+        )
+        assert result.succeeded
+
+    def test_suppress_does_not_mask_definite(self):
+        from repro.core import TransformInterpreterError
+
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        script.set_attr("failures", "suppress")
+        builder.create("transform.test.emit_definite")
+        transform.yield_(builder)
+        with pytest.raises(TransformInterpreterError):
+            TransformInterpreter().apply(script, payload)
+
+    def test_suppress_keeps_prefix_effects(self):
+        """Transforms before the failure remain applied."""
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        script.set_attr("failures", "suppress")
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        transform.loop_tile(builder, loop, [2])
+        builder.create("transform.test.emit_silenceable")
+        transform.yield_(builder)
+        result = TransformInterpreter().apply(script, payload)
+        assert result.succeeded
+        loops = [op for op in payload.walk() if op.name == "scf.for"]
+        assert len(loops) == 4  # tiling happened
+
+
+class TestForeachResults:
+    def test_yielded_handles_gathered(self):
+        payload = build_matmul_module(8, 8, 8)
+        script, builder, root = transform.sequence()
+        loops = transform.match_op(builder, root, "scf.for")
+        foreach_op = builder.create(
+            "transform.foreach", operands=[loops],
+            result_types=[transform.ANY_OP], regions=1,
+        )
+        body = Block([transform.ANY_OP])
+        foreach_op.regions[0].add_block(body)
+        body_builder = Builder.at_end(body)
+        # Per loop, yield the handle to its store ops (k-loop only has
+        # one; others have it nested).
+        stores = transform.match_op(body_builder, body.args[0],
+                                    "memref.store")
+        body_builder.create("transform.yield", operands=[stores])
+        transform.yield_(builder)
+
+        state = TransformState(payload)
+        state.set_payload(script.body.args[0], [payload])
+        interp = TransformInterpreter()
+        result = interp.run_block(script.body, state)
+        assert result.succeeded
+        gathered = state.get_payload(foreach_op.results[0])
+        # Three loops each see the single nested store.
+        assert len(gathered) == 3
+        assert all(op.name == "memref.store" for op in gathered)
+
+    def test_yield_arity_mismatch_is_definite(self):
+        from repro.core import TransformInterpreterError
+
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        loops = transform.match_op(builder, root, "scf.for")
+        foreach_op = builder.create(
+            "transform.foreach", operands=[loops],
+            result_types=[transform.ANY_OP, transform.ANY_OP],
+            regions=1,
+        )
+        body = Block([transform.ANY_OP])
+        foreach_op.regions[0].add_block(body)
+        body_builder = Builder.at_end(body)
+        body_builder.create("transform.yield",
+                            operands=[body.args[0]])  # 1 != 2
+        transform.yield_(builder)
+        with pytest.raises(TransformInterpreterError, match="arity"):
+            TransformInterpreter().apply(script, payload)
+
+    def test_resultless_foreach_still_works(self):
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        loops = transform.match_op(builder, root, "scf.for")
+        foreach_op, body_builder, element = transform.foreach(
+            builder, loops
+        )
+        transform.annotate(body_builder, element, "seen")
+        transform.yield_(body_builder)
+        transform.yield_(builder)
+        assert TransformInterpreter().apply(script, payload).succeeded
+        marked = [op for op in payload.walk()
+                  if op.attr("seen") is not None]
+        assert len(marked) == 3

@@ -1,0 +1,174 @@
+"""Tests for the transform state: mapping, invalidation, rewrite events."""
+
+import pytest
+
+from repro.core.state import HandleInvalidatedError, TransformState
+from repro.core.types import ANY_OP
+from repro.dialects import arith, builtin, func, scf
+from repro.ir import Block, Builder, INDEX, Operation
+
+
+def handle():
+    """A fresh SSA value usable as a transform handle."""
+    return Operation.create("test.handle", result_types=[ANY_OP]).result
+
+
+def build_payload():
+    module = builtin.module()
+    f = func.func("f", [])
+    module.body.append(f)
+    builder = Builder.at_end(f.body)
+    lb = arith.index_constant(builder, 0)
+    ub = arith.index_constant(builder, 4)
+    step = arith.index_constant(builder, 1)
+    loop = scf.for_(builder, lb, ub, step)
+    body = Builder.at_end(loop.body)
+    inner = body.create("test.inner")
+    scf.yield_(body)
+    func.return_(builder)
+    return module, f, loop, inner
+
+
+class TestMapping:
+    def test_set_get(self):
+        module, f, loop, _inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [loop])
+        assert state.get_payload(h) == [loop]
+
+    def test_unmapped_handle_raises(self):
+        module, *_ = build_payload()
+        state = TransformState(module)
+        with pytest.raises(HandleInvalidatedError, match="unmapped"):
+            state.get_payload(handle())
+
+    def test_params(self):
+        module, *_ = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_param(h, [32, 32])
+        assert state.get_param(h) == [32, 32]
+
+    def test_get_payload_returns_copy(self):
+        module, _f, loop, _inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [loop])
+        state.get_payload(h).append(None)
+        assert state.get_payload(h) == [loop]
+
+
+class TestInvalidation:
+    def test_direct(self):
+        module, _f, loop, _inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [loop])
+        state.invalidate(h, "'transform.loop.unroll'")
+        assert state.is_invalidated(h)
+        with pytest.raises(HandleInvalidatedError, match="unroll"):
+            state.get_payload(h)
+
+    def test_nested_alias_invalidated(self):
+        """Consuming the loop handle invalidates handles to nested ops."""
+        module, _f, loop, inner = build_payload()
+        state = TransformState(module)
+        loop_handle, inner_handle = handle(), handle()
+        state.set_payload(loop_handle, [loop])
+        state.set_payload(inner_handle, [inner])
+        state.invalidate(loop_handle, "consumed")
+        assert state.is_invalidated(inner_handle)
+        assert "aliasing" in state.invalidation_reason(inner_handle)
+
+    def test_enclosing_handle_survives(self):
+        """Consuming a nested handle keeps enclosing handles valid: the
+        ancestors still exist, only their contents changed (§3.1)."""
+        module, f, loop, inner = build_payload()
+        state = TransformState(module)
+        func_handle, inner_handle = handle(), handle()
+        state.set_payload(func_handle, [f])
+        state.set_payload(inner_handle, [inner])
+        state.invalidate(inner_handle, "consumed")
+        assert not state.is_invalidated(func_handle)
+        assert state.get_payload(func_handle) == [f]
+
+    def test_disjoint_handle_survives(self):
+        module, f, loop, _inner = build_payload()
+        state = TransformState(module)
+        loop_handle, other_handle = handle(), handle()
+        other_op = f.body.ops[0]  # a constant, not nested in the loop
+        state.set_payload(loop_handle, [loop])
+        state.set_payload(other_handle, [other_op])
+        state.invalidate(loop_handle, "consumed")
+        assert not state.is_invalidated(other_handle)
+        assert state.get_payload(other_handle) == [other_op]
+
+    def test_same_payload_aliases(self):
+        module, _f, loop, _inner = build_payload()
+        state = TransformState(module)
+        first, second = handle(), handle()
+        state.set_payload(first, [loop])
+        state.set_payload(second, [loop])
+        state.invalidate(first, "consumed")
+        assert state.is_invalidated(second)
+
+    def test_remapping_clears_invalidation(self):
+        module, _f, loop, _inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [loop])
+        state.invalidate(h, "consumed")
+        state.set_payload(h, [loop])
+        assert not state.is_invalidated(h)
+
+
+class TestRewriteEvents:
+    def test_erase_event_empties_mapping(self):
+        module, _f, loop, inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [inner])
+        state.notify_op_erased(inner)
+        assert state.get_payload(h) == []
+
+    def test_replace_event_repoints_handle(self):
+        module, f, loop, inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [inner])
+        replacement = Builder.before(inner).create(
+            "test.replacement", result_types=[INDEX]
+        )
+        state.notify_op_replaced(inner, replacement.results)
+        assert state.get_payload(h) == [replacement]
+
+    def test_replace_with_non_op_value_drops(self):
+        module, f, loop, inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [inner])
+        block = Block([INDEX])
+        state.notify_op_replaced(inner, [block.args[0]])
+        assert state.get_payload(h) == []
+
+    def test_pattern_driver_integration(self):
+        """Handles survive greedy pattern application (paper §3.1)."""
+        from repro.rewrite.greedy import apply_patterns_greedily
+        from repro.rewrite.pattern import pattern
+
+        module, _f, loop, inner = build_payload()
+        state = TransformState(module)
+        h = handle()
+        state.set_payload(h, [inner])
+
+        @pattern("test.inner")
+        def replace_inner(op, rewriter):
+            new_op = rewriter.replace_op_with(op, "test.renamed")
+            return True
+
+        apply_patterns_greedily(module, [replace_inner],
+                                extra_listeners=[state])
+        payload = state.get_payload(h)
+        assert len(payload) == 1
+        assert payload[0].name == "test.renamed"

@@ -1,0 +1,81 @@
+"""Coverage for transform handle types and the error model."""
+
+import pytest
+
+from repro.core.errors import (
+    FailureKind,
+    TransformInterpreterError,
+    TransformResult,
+)
+from repro.core.types import (
+    ANY_OP,
+    AnyOpType,
+    AnyValueType,
+    OperationHandleType,
+    PARAM_I64,
+    ParamType,
+)
+from repro.ir import Operation, parse
+
+
+class TestHandleTypes:
+    def test_any_op_accepts_everything(self):
+        assert ANY_OP.accepts_op_name("scf.for")
+        assert ANY_OP.accepts_op_name("whatever.op")
+
+    def test_operation_handle_restricts(self):
+        handle = OperationHandleType("scf.for")
+        assert handle.accepts_op_name("scf.for")
+        assert not handle.accepts_op_name("scf.if")
+
+    def test_printing(self):
+        assert str(ANY_OP) == "!transform.any_op"
+        assert str(OperationHandleType("scf.for")) == \
+            '!transform.op<"scf.for">'
+        assert str(PARAM_I64) == "!transform.param<i64>"
+        assert str(AnyValueType()) == "!transform.any_value"
+
+    def test_equality(self):
+        assert AnyOpType() == ANY_OP
+        assert OperationHandleType("a.b") == OperationHandleType("a.b")
+        assert OperationHandleType("a.b") != OperationHandleType("a.c")
+        assert ParamType("i64") == PARAM_I64
+
+    def test_parse_param_type(self):
+        op = parse('%0 = "t.x"() : () -> !transform.param<i64>')
+        assert op.results[0].type == PARAM_I64
+
+    def test_unknown_transform_type_rejected(self):
+        from repro.ir import ParseError
+
+        with pytest.raises((ParseError, ValueError)):
+            parse('%0 = "t.x"() : () -> !transform.bogus')
+
+
+class TestTransformResult:
+    def test_success(self):
+        result = TransformResult.success()
+        assert result.succeeded
+        assert not result.is_silenceable
+        assert not result.is_definite
+        assert str(result) == "success"
+
+    def test_silenceable_carries_context(self):
+        op = Operation.create("transform.loop.tile")
+        result = TransformResult.silenceable("nope", op, [op])
+        assert result.is_silenceable
+        assert result.transform_op is op
+        assert result.payload_ops == [op]
+        assert "nope" in str(result)
+        assert "transform.loop.tile" in str(result)
+
+    def test_definite(self):
+        result = TransformResult.definite("fatal")
+        assert result.is_definite
+        assert result.kind is FailureKind.DEFINITE
+
+    def test_interpreter_error_wraps_result(self):
+        result = TransformResult.definite("fatal")
+        error = TransformInterpreterError(result)
+        assert error.result is result
+        assert "fatal" in str(error)

@@ -1,0 +1,95 @@
+"""Tests for the arith dialect."""
+
+import pytest
+
+from repro.dialects import arith
+from repro.ir import Block, Builder, F64, I1, I32, INDEX, Operation
+
+
+@pytest.fixture
+def builder():
+    return Builder.at_end(Block())
+
+
+class TestConstant:
+    def test_int(self, builder):
+        value = arith.constant(builder, 5, I32)
+        assert value.type == I32
+        assert value.defining_op().value == 5
+
+    def test_index(self, builder):
+        value = arith.index_constant(builder, 7)
+        assert value.type == INDEX
+
+    def test_float_default_type(self, builder):
+        value = arith.constant(builder, 1.5)
+        assert value.type == F64
+
+    def test_int_value_with_float_type_becomes_float(self, builder):
+        value = arith.constant(builder, 1, F64)
+        assert value.defining_op().value == 1.0
+
+    def test_verifier_requires_value(self):
+        op = Operation.create("arith.constant", result_types=[I32])
+        with pytest.raises(ValueError, match="value"):
+            op.verify()
+
+
+class TestBinaryOps:
+    def test_addi(self, builder):
+        a = arith.constant(builder, 1, I32)
+        b = arith.constant(builder, 2, I32)
+        result = arith.addi(builder, a, b)
+        assert result.type == I32
+        assert result.defining_op().name == "arith.addi"
+
+    def test_all_builders_produce_registered_ops(self, builder):
+        a = arith.constant(builder, 1.0, F64)
+        for fn in (arith.addf, arith.subf, arith.mulf, arith.divf,
+                   arith.maximumf, arith.minimumf):
+            assert fn(builder, a, a).defining_op().verify_op() is None
+
+    def test_type_mismatch_rejected(self, builder):
+        a = arith.constant(builder, 1, I32)
+        b = arith.constant(builder, 2.0, F64)
+        op = Operation.create("arith.addi", operands=[a, b],
+                              result_types=[I32])
+        with pytest.raises(ValueError, match="differ"):
+            op.verify()
+
+    def test_commutativity_trait(self, builder):
+        from repro.ir.core import Commutative
+
+        a = arith.constant(builder, 1, I32)
+        assert arith.addi(builder, a, a).defining_op().has_trait(Commutative)
+        assert not arith.subi(builder, a, a).defining_op().has_trait(
+            Commutative
+        )
+
+
+class TestCmpAndSelect:
+    def test_cmpi(self, builder):
+        a = arith.index_constant(builder, 1)
+        b = arith.index_constant(builder, 2)
+        result = arith.cmpi(builder, "slt", a, b)
+        assert result.type == I1
+        assert result.defining_op().predicate == "slt"
+
+    def test_invalid_predicate(self, builder):
+        a = arith.index_constant(builder, 1)
+        op = Operation.create(
+            "arith.cmpi", operands=[a, a], result_types=[I1],
+            attributes={"predicate": "nope"},
+        )
+        with pytest.raises(ValueError, match="predicate"):
+            op.verify()
+
+    def test_select(self, builder):
+        cond = arith.constant(builder, 1, I1)
+        a = arith.index_constant(builder, 1)
+        b = arith.index_constant(builder, 2)
+        assert arith.select(builder, cond, a, b).type == INDEX
+
+    def test_index_cast(self, builder):
+        a = arith.index_constant(builder, 1)
+        assert arith.index_cast(builder, a, I32).type == I32

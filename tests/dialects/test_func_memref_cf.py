@@ -1,0 +1,163 @@
+"""Tests for the func, memref and cf dialects."""
+
+import pytest
+
+from repro.dialects import arith, builtin, cf, func, memref as memref_dialect
+from repro.ir import Block, Builder, F32, F64, I32, INDEX, Operation
+from repro.ir.types import DYNAMIC, memref
+
+
+@pytest.fixture
+def builder():
+    return Builder.at_end(Block())
+
+
+class TestFunc:
+    def test_definition(self):
+        f = func.func("f", [I32, F32], [I32])
+        assert f.sym_name == "f"
+        assert not f.is_declaration
+        assert [a.type for a in f.body.args] == [I32, F32]
+        assert f.function_type.results == (I32,)
+
+    def test_declaration(self):
+        f = func.func("ext", [I32], declaration=True)
+        assert f.is_declaration
+
+    def test_signature_verifier(self):
+        f = func.func("f", [I32])
+        f.body.args[0].type = F32
+        with pytest.raises(ValueError, match="signature"):
+            f.verify_op()
+
+    def test_call_and_return(self):
+        module = builtin.module()
+        callee = func.func("callee", [I32], [I32])
+        module.body.append(callee)
+        b = Builder.at_end(callee.body)
+        func.return_(b, [callee.body.args[0]])
+        caller = func.func("caller", [I32], [I32])
+        module.body.append(caller)
+        cb = Builder.at_end(caller.body)
+        call = func.call(cb, "callee", [caller.body.args[0]], [I32])
+        func.return_(cb, [call.results[0]])
+        module.verify()
+        assert call.callee == "callee"
+
+
+class TestMemRef:
+    def test_alloc(self, builder):
+        ref = memref_dialect.alloc(builder, memref(4, 4))
+        assert ref.type == memref(4, 4)
+
+    def test_load_store(self, builder):
+        ref = memref_dialect.alloc(builder, memref(4, 4))
+        i = arith.index_constant(builder, 0)
+        value = memref_dialect.load(builder, ref, [i, i])
+        assert value.type == F32
+        memref_dialect.store(builder, value, ref, [i, i])
+
+    def test_load_index_count_verified(self, builder):
+        ref = memref_dialect.alloc(builder, memref(4, 4))
+        i = arith.index_constant(builder, 0)
+        bad = Operation.create(
+            "memref.load", operands=[ref, i], result_types=[F32]
+        )
+        with pytest.raises(ValueError, match="indices"):
+            bad.verify_op()
+
+    def test_store_index_count_verified(self, builder):
+        ref = memref_dialect.alloc(builder, memref(4,))
+        i = arith.index_constant(builder, 0)
+        value = arith.constant(builder, 0.0, F32)
+        bad = Operation.create(
+            "memref.store", operands=[value, ref, i, i]
+        )
+        with pytest.raises(ValueError, match="index count"):
+            bad.verify_op()
+
+    def test_subview_static(self, builder):
+        ref = memref_dialect.alloc(builder, memref(16, 16))
+        view = memref_dialect.subview(
+            builder, ref, [0, 0], [4, 4], [1, 1]
+        )
+        subview_op = view.defining_op()
+        assert subview_op.has_trivial_metadata
+        assert subview_op.static_sizes == (4, 4)
+        assert view.type.shape == (4, 4)
+        subview_op.verify_op()
+
+    def test_subview_dynamic_offset(self, builder):
+        ref = memref_dialect.alloc(builder, memref(16, 16))
+        offset = arith.index_constant(builder, 3)
+        view = memref_dialect.subview(
+            builder, ref, [offset, 0], [4, 4], [1, 1]
+        )
+        subview_op = view.defining_op()
+        assert not subview_op.has_trivial_metadata
+        assert subview_op.static_offsets == (DYNAMIC, 0)
+        assert subview_op.dynamic_operands == [offset]
+        subview_op.verify_op()
+
+    def test_subview_nonzero_static_offset_not_trivial(self, builder):
+        ref = memref_dialect.alloc(builder, memref(16, 16))
+        view = memref_dialect.subview(builder, ref, [4, 0], [4, 4], [1, 1])
+        assert not view.defining_op().has_trivial_metadata
+
+    def test_subview_operand_attr_consistency(self, builder):
+        ref = memref_dialect.alloc(builder, memref(16,))
+        from repro.ir.attributes import DenseIntAttr
+
+        bad = Operation.create(
+            "memref.subview",
+            operands=[ref],
+            result_types=[memref(4,)],
+            attributes={
+                "static_offsets": DenseIntAttr((DYNAMIC,)),
+                "static_sizes": DenseIntAttr((4,)),
+                "static_strides": DenseIntAttr((1,)),
+            },
+        )
+        with pytest.raises(ValueError, match="dynamic operand count"):
+            bad.verify_op()
+
+    def test_dim(self, builder):
+        ref = memref_dialect.alloc(builder, memref(4, 4))
+        i = arith.index_constant(builder, 0)
+        assert memref_dialect.dim(builder, ref, i).type == INDEX
+
+
+class TestCF:
+    def test_br(self):
+        holder = Operation.create("test.holder", regions=1)
+        entry = holder.regions[0].add_block()
+        target = holder.regions[0].add_block(Block([INDEX]))
+        b = Builder.at_end(entry)
+        value = arith.index_constant(b, 0)
+        br = cf.br(b, target, [value])
+        assert br.dest is target
+        br.verify_op()
+
+    def test_br_arg_mismatch(self):
+        holder = Operation.create("test.holder", regions=1)
+        entry = holder.regions[0].add_block()
+        target = holder.regions[0].add_block(Block([INDEX]))
+        b = Builder.at_end(entry)
+        bad = b.create("cf.br", successors=[target])
+        with pytest.raises(ValueError, match="successor arguments"):
+            bad.verify_op()
+
+    def test_cond_br_args_split(self):
+        holder = Operation.create("test.holder", regions=1)
+        entry = holder.regions[0].add_block()
+        then_block = holder.regions[0].add_block(Block([INDEX]))
+        else_block = holder.regions[0].add_block(Block([INDEX, INDEX]))
+        b = Builder.at_end(entry)
+        cond = arith.constant(b, 1, I32)
+        x = arith.index_constant(b, 1)
+        y = arith.index_constant(b, 2)
+        branch = cf.cond_br(b, cond, then_block, else_block,
+                            true_args=[x], false_args=[x, y])
+        assert branch.true_args == [x]
+        assert branch.false_args == [x, y]
+        branch.verify_op()

@@ -1,0 +1,122 @@
+"""Coverage tests for the llvm, index, vector and builtin dialects."""
+
+import pytest
+
+from repro.dialects import builtin, index as index_dialect, llvm, vector as vector_dialect
+from repro.ir import Block, Builder, I64, INDEX, Operation
+from repro.ir.core import IsTerminator, Pure, SymbolTrait
+from repro.ir.types import LLVMPointerType, memref, vector
+
+
+@pytest.fixture
+def builder():
+    return Builder.at_end(Block())
+
+
+class TestLLVM:
+    def test_constant(self, builder):
+        value = llvm.constant(builder, 7, I64)
+        assert value.type == I64
+        assert value.defining_op().attr("value").value == 7
+
+    def test_load_store(self, builder):
+        pointer = builder.create(
+            "llvm.alloca", result_types=[LLVMPointerType()]
+        ).result
+        loaded = llvm.load(builder, pointer, I64)
+        assert loaded.type == I64
+        llvm.store(builder, loaded, pointer)
+
+    def test_getelementptr(self, builder):
+        pointer = builder.create(
+            "llvm.alloca", result_types=[LLVMPointerType()]
+        ).result
+        offset = llvm.constant(builder, 4, I64)
+        gep = llvm.getelementptr(builder, pointer, [offset])
+        assert gep.type == LLVMPointerType()
+
+    def test_call(self, builder):
+        value = llvm.constant(builder, 1, I64)
+        call = llvm.call(builder, "malloc", [value],
+                         [LLVMPointerType()])
+        assert call.attr("callee").name == "malloc"
+
+    def test_terminators_are_terminators(self):
+        for name in ("llvm.br", "llvm.cond_br", "llvm.return",
+                     "llvm.unreachable", "llvm.switch"):
+            op = Operation.create(name)
+            assert op.has_trait(IsTerminator), name
+
+    def test_value_ops_are_pure(self):
+        for name in ("llvm.add", "llvm.fmul", "llvm.icmp",
+                     "llvm.getelementptr", "llvm.bitcast"):
+            assert Operation.create(name).has_trait(Pure), name
+
+    def test_memory_ops_not_pure(self):
+        for name in ("llvm.load", "llvm.store", "llvm.call",
+                     "llvm.alloca"):
+            assert not Operation.create(name).has_trait(Pure), name
+
+    def test_func_is_symbol(self):
+        op = Operation.create("llvm.func",
+                              attributes={"sym_name": "f"}, regions=1)
+        assert op.has_trait(SymbolTrait)
+
+
+class TestIndexDialect:
+    def test_constant_add_mul(self, builder):
+        a = index_dialect.constant(builder, 3)
+        b = index_dialect.constant(builder, 4)
+        total = index_dialect.add(builder, a, b)
+        product = index_dialect.mul(builder, total, a)
+        assert total.type == INDEX
+        assert product.defining_op().name == "index.mul"
+
+    def test_all_pure(self):
+        for short in ("add", "sub", "mul", "divs", "ceildivs"):
+            assert Operation.create(f"index.{short}").has_trait(Pure)
+
+
+class TestVectorDialect:
+    def test_load_store_roundtrip_types(self, builder):
+        base = builder.create(
+            "memref.alloc", result_types=[memref(64)]
+        ).result
+        zero = index_dialect.constant(builder, 0)
+        loaded = vector_dialect.load(builder, vector(8), base, [zero])
+        vector_dialect.store(builder, loaded, base, [zero])
+        assert loaded.type == vector(8)
+
+    def test_fma_type_propagates(self, builder):
+        base = builder.create(
+            "memref.alloc", result_types=[memref(64)]
+        ).result
+        zero = index_dialect.constant(builder, 0)
+        v = vector_dialect.load(builder, vector(8), base, [zero])
+        assert vector_dialect.fma(builder, v, v, v).type == vector(8)
+
+
+class TestBuiltin:
+    def test_module_factory(self):
+        module = builtin.module()
+        assert module.name == "builtin.module"
+        assert module.body is module.regions[0].entry_block
+
+    def test_module_traits(self):
+        from repro.ir.core import (
+            IsolatedFromAbove,
+            NoTerminator,
+            SymbolTableTrait,
+        )
+
+        module = builtin.module()
+        assert module.has_trait(SymbolTableTrait)
+        assert module.has_trait(NoTerminator)
+        assert module.has_trait(IsolatedFromAbove)
+
+    def test_unrealized_cast_builder(self, builder):
+        value = index_dialect.constant(builder, 1)
+        cast = builtin.unrealized_cast(builder, [value], [I64])
+        assert cast.name == "builtin.unrealized_conversion_cast"
+        assert cast.results[0].type == I64
+        assert cast.has_trait(Pure)

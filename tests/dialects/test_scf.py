@@ -1,0 +1,105 @@
+"""Tests for the scf dialect."""
+
+import pytest
+
+from repro.dialects import arith, scf
+from repro.ir import Block, Builder, F64, INDEX, Operation
+
+
+@pytest.fixture
+def builder():
+    return Builder.at_end(Block())
+
+
+class TestForOp:
+    def test_structure(self, builder):
+        lb = arith.index_constant(builder, 0)
+        ub = arith.index_constant(builder, 10)
+        step = arith.index_constant(builder, 2)
+        loop = scf.for_(builder, lb, ub, step)
+        assert loop.lower_bound is lb
+        assert loop.upper_bound is ub
+        assert loop.step is step
+        assert loop.induction_var.type == INDEX
+        assert loop.iter_args == []
+
+    def test_iter_args(self, builder):
+        lb = arith.index_constant(builder, 0)
+        ub = arith.index_constant(builder, 4)
+        step = arith.index_constant(builder, 1)
+        init = arith.constant(builder, 0.0, F64)
+        loop = scf.for_(builder, lb, ub, step, [init])
+        assert len(loop.results) == 1
+        assert loop.results[0].type == F64
+        assert len(loop.iter_args) == 1
+        assert loop.init_args == [init]
+
+    def test_trip_count(self, builder):
+        lb = arith.index_constant(builder, 0)
+        ub = arith.index_constant(builder, 10)
+        step = arith.index_constant(builder, 3)
+        loop = scf.for_(builder, lb, ub, step)
+        assert loop.trip_count() == 4  # ceil(10/3)
+        assert loop.constant_bounds() == (0, 10, 3)
+
+    def test_trip_count_unknown_for_dynamic_bounds(self, builder):
+        block = Block([INDEX])
+        inner = Builder.at_end(block)
+        lb = arith.index_constant(inner, 0)
+        step = arith.index_constant(inner, 1)
+        loop = scf.for_(inner, lb, block.args[0], step)
+        assert loop.trip_count() is None
+
+    def test_verifier_checks_body_args(self, builder):
+        lb = arith.index_constant(builder, 0)
+        op = Operation.create("scf.for", operands=[lb, lb, lb], regions=1)
+        op.regions[0].add_block(Block())  # missing induction variable
+        with pytest.raises(ValueError, match="induction"):
+            op.verify_op()
+
+    def test_verifier_checks_result_count(self, builder):
+        lb = arith.index_constant(builder, 0)
+        op = Operation.create(
+            "scf.for", operands=[lb, lb, lb], result_types=[INDEX],
+            regions=1,
+        )
+        op.regions[0].add_block(Block([INDEX]))
+        with pytest.raises(ValueError, match="iter_args"):
+            op.verify_op()
+
+
+class TestIfOp:
+    def test_then_else(self, builder):
+        cond = arith.constant(builder, 1, INDEX)
+        if_op = scf.if_(builder, cond, with_else=True)
+        assert if_op.then_block is not None
+        assert if_op.else_block is not None
+
+    def test_no_else(self, builder):
+        cond = arith.constant(builder, 1, INDEX)
+        if_op = scf.if_(builder, cond)
+        assert if_op.else_block is None
+
+
+class TestForallOp:
+    def test_structure(self, builder):
+        c4 = arith.index_constant(builder, 4)
+        c8 = arith.index_constant(builder, 8)
+        forall = scf.forall(builder, [c4, c8])
+        assert forall.rank == 2
+        assert len(forall.induction_vars) == 2
+
+    def test_verifier(self, builder):
+        c4 = arith.index_constant(builder, 4)
+        bad = Operation.create("scf.forall", operands=[c4], regions=1)
+        bad.regions[0].add_block(Block())
+        with pytest.raises(ValueError, match="induction variable"):
+            bad.verify_op()
+
+
+class TestYield:
+    def test_is_terminator(self, builder):
+        from repro.ir.core import IsTerminator
+
+        yield_op = scf.yield_(builder)
+        assert yield_op.has_trait(IsTerminator)

@@ -1,0 +1,236 @@
+"""Tests for the StableHLO peephole pattern set (case study 3)."""
+
+import pytest
+
+from repro.core.dialect import TRANSFORM_PATTERN_REGISTRY
+from repro.dialects import builtin, func
+from repro.enzyme import ALL_PATTERN_NAMES, CULPRIT_PATTERN, make_pattern
+from repro.enzyme.workload import build_llm_block_module
+from repro.ir import Builder, Operation
+from repro.ir.types import F32, tensor
+from repro.rewrite.greedy import apply_patterns_greedily
+
+
+def make_payload(build_body, arg_types=None, result_types=None):
+    module = builtin.module()
+    t = tensor(4, 4, element_type=F32)
+    f = func.func("f", arg_types or [t], result_types or [t])
+    module.body.append(f)
+    builder = Builder.at_end(f.body)
+    result = build_body(builder, f.body.args, t)
+    func.return_(builder, [result])
+    return module
+
+
+def apply(module, *names):
+    return apply_patterns_greedily(
+        module, [make_pattern(n) for n in names]
+    )
+
+
+def names_of(module):
+    return [op.name for op in module.walk() if op is not module]
+
+
+class TestCatalog:
+    def test_over_100_patterns(self):
+        """The paper: 'over 100 work-reducing and enabling patterns'."""
+        assert len(ALL_PATTERN_NAMES) > 100
+
+    def test_all_registered_for_transform_scripts(self):
+        for name in ALL_PATTERN_NAMES:
+            assert name in TRANSFORM_PATTERN_REGISTRY
+
+    def test_culprit_in_catalog(self):
+        assert CULPRIT_PATTERN in ALL_PATTERN_NAMES
+
+    def test_make_pattern_is_fresh(self):
+        a = make_pattern("fold_negate_of_negate")
+        b = make_pattern("fold_negate_of_negate")
+        assert a is not b
+        assert a.label == "fold_negate_of_negate"
+
+
+class TestWorkReduction:
+    def test_double_negate_folds(self):
+        def body(b, args, t):
+            neg = b.create("stablehlo.negate", operands=[args[0]],
+                           result_types=[t])
+            return b.create("stablehlo.negate", operands=[neg.result],
+                            result_types=[t]).result
+
+        module = make_payload(body)
+        assert apply(module, "fold_negate_of_negate")
+        assert names_of(module).count("stablehlo.negate") == 0
+
+    def test_multiply_by_one_folds(self):
+        def body(b, args, t):
+            one = b.create("stablehlo.constant", result_types=[t],
+                           attributes={"value": 1.0})
+            return b.create(
+                "stablehlo.multiply", operands=[args[0], one.result],
+                result_types=[t],
+            ).result
+
+        module = make_payload(body)
+        assert apply(module, "fold_multiply_identity_rhs")
+        assert "stablehlo.multiply" not in names_of(module)
+
+    def test_add_of_zero_pad_folds(self):
+        def body(b, args, t):
+            zero = b.create("stablehlo.constant",
+                            result_types=[tensor(1, element_type=F32)],
+                            attributes={"value": 0.0})
+            padded = b.create("stablehlo.pad",
+                              operands=[args[0], zero.result],
+                              result_types=[t])
+            return b.create(
+                "stablehlo.add", operands=[args[0], padded.result],
+                result_types=[t],
+            ).result
+
+        module = make_payload(body)
+        assert apply(module, "fold_add_of_zero_pad")
+        assert "stablehlo.add" not in names_of(module)
+
+    def test_double_transpose_cancels(self):
+        def body(b, args, t):
+            first = b.create("stablehlo.transpose", operands=[args[0]],
+                             result_types=[t],
+                             attributes={"permutation": [1, 0]})
+            return b.create("stablehlo.transpose",
+                            operands=[first.result], result_types=[t],
+                            attributes={"permutation": [1, 0]}).result
+
+        module = make_payload(body)
+        assert apply(module, "fold_transpose_of_transpose")
+        assert "stablehlo.transpose" not in names_of(module)
+
+    def test_non_cancelling_transposes_kept(self):
+        def body(b, args, t):
+            first = b.create("stablehlo.transpose", operands=[args[0]],
+                             result_types=[t],
+                             attributes={"permutation": [1, 0]})
+            return b.create("stablehlo.transpose",
+                            operands=[first.result], result_types=[t],
+                            attributes={"permutation": [0, 1]}).result
+
+        module = make_payload(body)
+        apply(module, "fold_transpose_of_transpose")
+        assert names_of(module).count("stablehlo.transpose") == 2
+
+    def test_subtract_same_operands(self):
+        def body(b, args, t):
+            return b.create(
+                "stablehlo.subtract", operands=[args[0], args[0]],
+                result_types=[t],
+            ).result
+
+        module = make_payload(body)
+        assert apply(module, "fold_subtract_same_operands")
+        assert "stablehlo.subtract" not in names_of(module)
+        assert "stablehlo.constant" in names_of(module)
+
+
+class TestEnablingPatterns:
+    def test_transpose_folds_into_dot(self):
+        def body(b, args, t):
+            transposed = b.create(
+                "stablehlo.transpose", operands=[args[0]],
+                result_types=[t], attributes={"permutation": [1, 0]},
+            )
+            return b.create(
+                "stablehlo.dot_general",
+                operands=[transposed.result, args[0]],
+                result_types=[t],
+            ).result
+
+        module = make_payload(body)
+        assert apply(module, "matmul_of_transpose_lhs")
+        dot = next(module.walk_ops("stablehlo.dot_general"))
+        assert dot.attr("transpose_a") is not None
+        assert dot.operand(0).defining_op() is None  # the block arg
+
+
+class TestCulprit:
+    def test_folds_reshape_before_full_reduce(self):
+        from repro.dialects import stablehlo as hlo
+
+        def body(b, args, t):
+            flat = b.create(
+                "stablehlo.reshape", operands=[args[0]],
+                result_types=[tensor(16, element_type=F32)],
+            )
+            zero = b.create("stablehlo.constant",
+                            result_types=[tensor(1, element_type=F32)],
+                            attributes={"value": 0.0})
+            return hlo.reduce(b, flat.result, zero.result, [0],
+                              tensor(1, element_type=F32))
+
+        module = make_payload(
+            body, result_types=[tensor(1, element_type=F32)]
+        )
+        assert apply(module, CULPRIT_PATTERN)
+        reduce = next(module.walk_ops("stablehlo.reduce"))
+        assert reduce.attr("folded_shape_barrier") is not None
+        # The reduce now reads the unreshaped tensor directly.
+        assert reduce.operand(0).type == tensor(4, 4, element_type=F32)
+
+    def test_does_not_fold_partial_reduce(self):
+        from repro.dialects import stablehlo as hlo
+
+        def body(b, args, t):
+            flat = b.create(
+                "stablehlo.reshape", operands=[args[0]],
+                result_types=[tensor(16, element_type=F32)],
+            )
+            zero = b.create("stablehlo.constant",
+                            result_types=[tensor(4, element_type=F32)],
+                            attributes={"value": 0.0})
+            return hlo.reduce(b, flat.result, zero.result, [0],
+                              tensor(4, element_type=F32))
+
+        module = make_payload(
+            body, result_types=[tensor(4, element_type=F32)]
+        )
+        assert not apply(module, CULPRIT_PATTERN)
+
+    def test_does_not_fold_non_add_reduce(self):
+        from repro.dialects import stablehlo as hlo
+
+        def body(b, args, t):
+            flat = b.create(
+                "stablehlo.reshape", operands=[args[0]],
+                result_types=[tensor(16, element_type=F32)],
+            )
+            zero = b.create("stablehlo.constant",
+                            result_types=[tensor(1, element_type=F32)],
+                            attributes={"value": 0.0})
+            return hlo.reduce(b, flat.result, zero.result, [0],
+                              tensor(1, element_type=F32),
+                              kind="maximum")
+
+        module = make_payload(
+            body, result_types=[tensor(1, element_type=F32)]
+        )
+        assert not apply(module, CULPRIT_PATTERN)
+
+
+class TestWorkload:
+    def test_has_sites_for_key_patterns(self):
+        module = build_llm_block_module(seq=64, dim=64, n_blocks=2)
+        names = names_of(module)
+        assert names.count("stablehlo.negate") >= 4
+        assert "stablehlo.pad" in names
+        assert "stablehlo.reduce" in names
+        assert "stablehlo.reshape" in names
+        assert "stablehlo.dot_general" in names
+
+    def test_patterns_reduce_op_count(self):
+        module = build_llm_block_module(seq=64, dim=64, n_blocks=2)
+        before = len(names_of(module))
+        apply(module, "fold_negate_of_negate",
+              "fold_multiply_identity_rhs", "fold_add_of_zero_pad",
+              "fold_transpose_of_transpose", "fold_convert_of_convert")
+        after = len(names_of(module))
+        assert after < before

@@ -1,0 +1,136 @@
+"""Tests for the cost model's IR analysis helpers (stride/coefficient)."""
+
+import pytest
+
+from repro.dialects import arith, builtin, func, memref as md, scf
+from repro.execution.costmodel import (
+    CostModel,
+    MachineSpec,
+    _coefficient,
+    _strides_per_loop,
+    _LoopInfo,
+)
+from repro.ir import Builder, INDEX
+from repro.ir.types import memref
+
+
+def loop_with_body(extra_args=()):
+    module = builtin.module()
+    f = func.func("f", [memref(64, 64), *extra_args])
+    module.body.append(f)
+    builder = Builder.at_end(f.body)
+    lb = arith.index_constant(builder, 0)
+    ub = arith.index_constant(builder, 16)
+    step = arith.index_constant(builder, 1)
+    loop = scf.for_(builder, lb, ub, step)
+    return module, f, loop, Builder.at_end(loop.body)
+
+
+class TestCoefficient:
+    def test_direct_iv(self):
+        _m, _f, loop, _b = loop_with_body()
+        iv = loop.induction_var
+        assert _coefficient(iv, iv) == 1
+
+    def test_independent_value(self):
+        _m, f, loop, body = loop_with_body((INDEX,))
+        other = f.body.args[1]
+        assert _coefficient(other, loop.induction_var) == 0
+
+    def test_addition(self):
+        _m, f, loop, body = loop_with_body((INDEX,))
+        iv = loop.induction_var
+        summed = arith.addi(body, iv, f.body.args[1])
+        assert _coefficient(summed, iv) == 1
+
+    def test_scaled(self):
+        _m, _f, loop, body = loop_with_body()
+        iv = loop.induction_var
+        eight = arith.index_constant(body, 8)
+        scaled = arith.muli(body, iv, eight)
+        assert _coefficient(scaled, iv) == 8
+
+    def test_scaled_then_shifted(self):
+        _m, _f, loop, body = loop_with_body()
+        iv = loop.induction_var
+        four = arith.index_constant(body, 4)
+        one = arith.index_constant(body, 1)
+        expr = arith.addi(body, arith.muli(body, iv, four), one)
+        assert _coefficient(expr, iv) == 4
+
+    def test_nonaffine_is_unknown(self):
+        _m, _f, loop, body = loop_with_body()
+        iv = loop.induction_var
+        squared = arith.muli(body, iv, iv)
+        assert _coefficient(squared, iv) is None
+
+    def test_subtraction(self):
+        _m, _f, loop, body = loop_with_body()
+        iv = loop.induction_var
+        doubled = arith.addi(body, iv, iv)
+        diff = arith.subi(body, doubled, iv)
+        assert _coefficient(diff, iv) == 1
+
+
+class TestStrides:
+    def test_row_and_column_strides(self):
+        module, f, loop, body = loop_with_body()
+        iv = loop.induction_var
+        zero = arith.index_constant(body, 0)
+        row_access = md.load(body, f.body.args[0], [iv, zero])
+        col_access = md.load(body, f.body.args[0], [zero, iv])
+        info = _LoopInfo(loop, 16)
+        row_strides = _strides_per_loop(
+            row_access.defining_op(), f.body.args[0],
+            [iv, zero], [info],
+        )
+        col_strides = _strides_per_loop(
+            col_access.defining_op(), f.body.args[0],
+            [zero, iv], [info],
+        )
+        assert row_strides[id(loop)] == 64  # row-major leading dim
+        assert col_strides[id(loop)] == 1
+
+    def test_step_scales_stride(self):
+        module = builtin.module()
+        f = func.func("f", [memref(64, 64)])
+        module.body.append(f)
+        builder = Builder.at_end(f.body)
+        lb = arith.index_constant(builder, 0)
+        ub = arith.index_constant(builder, 16)
+        step = arith.index_constant(builder, 4)
+        loop = scf.for_(builder, lb, ub, step)
+        body = Builder.at_end(loop.body)
+        zero = arith.index_constant(body, 0)
+        access = md.load(body, f.body.args[0],
+                         [zero, loop.induction_var])
+        strides = _strides_per_loop(
+            access.defining_op(), f.body.args[0],
+            [zero, loop.induction_var], [_LoopInfo(loop, 4)],
+        )
+        assert strides[id(loop)] == 4  # unit column stride x step 4
+
+    def test_invariant_access_stride_zero(self):
+        module, f, loop, body = loop_with_body()
+        zero = arith.index_constant(body, 0)
+        access = md.load(body, f.body.args[0], [zero, zero])
+        strides = _strides_per_loop(
+            access.defining_op(), f.body.args[0], [zero, zero],
+            [_LoopInfo(loop, 16)],
+        )
+        assert strides[id(loop)] == 0
+
+
+class TestVectorEfficiency:
+    def test_effective_width_interpolates(self):
+        model = CostModel(MachineSpec(vector_efficiency=0.5))
+        assert model._effective_width(1) == 1.0
+        assert model._effective_width(8) == 4.5
+
+    def test_full_efficiency(self):
+        model = CostModel(MachineSpec(vector_efficiency=1.0))
+        assert model._effective_width(8) == 8.0
+
+    def test_zero_efficiency_means_no_speedup(self):
+        model = CostModel(MachineSpec(vector_efficiency=0.0))
+        assert model._effective_width(16) == 1.0

@@ -1,0 +1,97 @@
+"""Tests for builders and (lazy) insertion points."""
+
+from repro.ir import Block, Builder, INDEX, InsertionPoint, Operation, index_attr
+
+
+def const(value=0):
+    return Operation.create(
+        "arith.constant", result_types=[INDEX],
+        attributes={"value": index_attr(value)},
+    )
+
+
+class TestInsertionPoint:
+    def test_at_end(self):
+        block = Block()
+        ip = InsertionPoint.at_end(block)
+        a, b = const(1), const(2)
+        ip.insert(a)
+        ip.insert(b)
+        assert block.ops == [a, b]
+
+    def test_at_start(self):
+        block = Block()
+        existing = block.append(const(0))
+        ip = InsertionPoint.at_start(block)
+        a, b = const(1), const(2)
+        ip.insert(a)
+        ip.insert(b)
+        assert block.ops == [a, b, existing]
+
+    def test_before_keeps_order(self):
+        block = Block()
+        anchor = block.append(const(0))
+        ip = InsertionPoint.before(anchor)
+        a, b = const(1), const(2)
+        ip.insert(a)
+        ip.insert(b)
+        assert block.ops == [a, b, anchor]
+
+    def test_after_keeps_order(self):
+        block = Block()
+        anchor = block.append(const(0))
+        tail = block.append(const(9))
+        ip = InsertionPoint.after(anchor)
+        a, b = const(1), const(2)
+        ip.insert(a)
+        ip.insert(b)
+        assert block.ops == [anchor, a, b, tail]
+
+    def test_anchor_gone_appends_at_end(self):
+        block = Block()
+        anchor = block.append(const(0))
+        ip = InsertionPoint.before(anchor)
+        block.remove(anchor)
+        fresh = const(1)
+        ip.insert(fresh)
+        assert block.ops == [fresh]
+
+
+class TestBuilder:
+    def test_create_inserts(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        op = builder.create("test.op")
+        assert block.ops == [op]
+
+    def test_reposition(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        first = builder.create("test.first")
+        builder.set_insertion_point_before(first)
+        second = builder.create("test.second")
+        assert block.ops == [second, first]
+
+    def test_before_and_after_factories(self):
+        block = Block()
+        anchor = block.append(const())
+        Builder.before(anchor).create("test.before")
+        Builder.after(anchor).create("test.after")
+        assert [op.name for op in block.ops] == [
+            "test.before", "arith.constant", "test.after"
+        ]
+
+    def test_clone_at_insertion_point(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        original = const(7)
+        copy = builder.clone(original)
+        assert copy is not original
+        assert copy.attr("value").value == 7
+        assert block.ops == [copy]
+
+    def test_builder_without_ip_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Builder().create("test.op")

@@ -1,0 +1,185 @@
+"""Round-trip tests for the textual printer and parser."""
+
+import pytest
+
+from repro.ir import (
+    Block,
+    Builder,
+    F32,
+    FunctionType,
+    I32,
+    INDEX,
+    Operation,
+    ParseError,
+    index_attr,
+    parse,
+    print_op,
+)
+from repro.ir.types import memref
+
+
+def roundtrip(op: Operation) -> None:
+    text = print_op(op)
+    reparsed = parse(text)
+    assert print_op(reparsed) == text
+
+
+class TestPrinting:
+    def test_simple_op(self):
+        op = Operation.create(
+            "arith.constant", result_types=[I32],
+            attributes={"value": 1},
+        )
+        assert print_op(op) == \
+            '%0 = "arith.constant"() {value = 1 : i64} : () -> i32'
+
+    def test_operands_and_results(self):
+        a = Operation.create("test.a", result_types=[I32])
+        op = Operation.create(
+            "arith.addi", operands=[a.result, a.result],
+            result_types=[I32],
+        )
+        assert '"arith.addi"(%1, %1)' in print_op(op)
+
+    def test_multiple_results(self):
+        op = Operation.create("test.multi", result_types=[I32, F32])
+        text = print_op(op)
+        assert text.startswith("%0, %1 = ")
+        assert text.endswith("() -> (i32, f32)")
+
+    def test_region_printing(self):
+        op = Operation.create("test.region", regions=1)
+        block = op.regions[0].add_block(Block([INDEX]))
+        block.append(Operation.create("test.inner"))
+        text = print_op(op)
+        assert "^bb0(%0: index):" in text
+        assert '"test.inner"' in text
+
+
+class TestRoundTrips:
+    def test_flat_ops(self):
+        holder = Operation.create("test.holder", regions=1)
+        block = holder.regions[0].add_block()
+        builder = Builder.at_end(block)
+        c = builder.create("arith.constant", result_types=[INDEX],
+                           attributes={"value": index_attr(3)})
+        builder.create("arith.addi", operands=[c.result, c.result],
+                       result_types=[INDEX])
+        roundtrip(holder)
+
+    def test_nested_regions(self, matmul_module):
+        roundtrip(matmul_module)
+
+    def test_attributes_roundtrip(self):
+        op = Operation.create(
+            "test.attrs",
+            attributes={
+                "i": 3,
+                "s": "hello",
+                "b": True,
+                "arr": [1, 2],
+                "t": I32,
+                "f": 2.5,
+            },
+        )
+        roundtrip(op)
+
+    def test_memref_types_roundtrip(self):
+        op = Operation.create(
+            "test.mem",
+            result_types=[memref(4, 8), memref(2, 2, element_type=F32)],
+        )
+        roundtrip(op)
+
+    def test_function_type_attr_roundtrip(self):
+        op = Operation.create(
+            "func.func",
+            regions=1,
+            attributes={
+                "sym_name": "f",
+                "function_type": FunctionType((I32,), ()),
+            },
+        )
+        op.regions[0].add_block(Block([I32]))
+        roundtrip(op)
+
+    def test_successors_roundtrip(self):
+        func = Operation.create("test.holder", regions=1)
+        entry = func.regions[0].add_block()
+        target = func.regions[0].add_block()
+        builder = Builder.at_end(entry)
+        builder.create("cf.br", successors=[target])
+        target.append(Operation.create("test.end"))
+        roundtrip(func)
+
+    def test_case_study_payload_roundtrip(self):
+        from repro.execution.workloads import build_uneven_loop_module
+
+        roundtrip(build_uneven_loop_module())
+
+    def test_transform_script_roundtrip(self):
+        from repro.core import dialect as transform
+
+        script, builder, root = transform.sequence()
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        transform.loop_unroll(builder, loop, full=True)
+        transform.yield_(builder)
+        roundtrip(script)
+
+
+class TestParseErrors:
+    def test_undefined_value(self):
+        with pytest.raises(ParseError, match="undefined value"):
+            parse('"test.op"(%undefined) : (i32) -> ()')
+
+    def test_operand_count_mismatch(self):
+        with pytest.raises(ParseError, match="operand count"):
+            parse('"test.op"() : (i32) -> ()')
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse('"test.a"() : () -> ()\n"test.b"() : () -> ()')
+
+    def test_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse('"test.op"() : () -> floof')
+
+    def test_garbage(self):
+        with pytest.raises(ParseError):
+            parse("@@@@")
+
+
+class TestParseForms:
+    def test_strided_memref(self):
+        op = parse(
+            '%0 = "t.x"() : () -> memref<4x4xf32, strided<[?, 1], offset: ?>>'
+        )
+        result_type = op.results[0].type
+        assert result_type.layout is not None
+
+    def test_dynamic_shape(self):
+        op = parse('%0 = "t.x"() : () -> tensor<?x4xf32>')
+        assert op.results[0].type.shape[0] == -1
+
+    def test_transform_types(self):
+        op = parse('%0 = "t.x"() : () -> !transform.any_op')
+        from repro.core.types import AnyOpType
+
+        assert isinstance(op.results[0].type, AnyOpType)
+
+    def test_transform_op_handle_type(self):
+        op = parse('%0 = "t.x"() : () -> !transform.op<\"scf.for\">')
+        from repro.core.types import OperationHandleType
+
+        assert op.results[0].type == OperationHandleType("scf.for")
+
+    def test_dense_attr(self):
+        op = parse(
+            '"t.x"() {d = dense<[1, 2]> : i64} : () -> ()'
+        )
+        assert list(op.attr("d").values) == [1, 2]
+
+    def test_symbol_ref(self):
+        op = parse('"t.x"() {callee = @foo} : () -> ()')
+        assert op.attr("callee").name == "foo"

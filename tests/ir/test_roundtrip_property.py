@@ -1,0 +1,128 @@
+"""Property-based printer/parser round-trip on randomized IR."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    Block,
+    Builder,
+    F32,
+    F64,
+    I1,
+    I32,
+    I64,
+    INDEX,
+    Operation,
+    parse,
+    print_op,
+)
+from repro.ir.types import memref, tensor, vector
+
+SCALARS = [I1, I32, I64, F32, F64, INDEX]
+SHAPED = [memref(4, 4), tensor(2, 8), vector(8), memref(16)]
+
+types = st.sampled_from(SCALARS + SHAPED)
+attr_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.booleans(),
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz_0123456789", min_size=1,
+        max_size=12,
+    ),
+    st.lists(st.integers(-5, 5), max_size=4),
+)
+attr_names = st.sampled_from(
+    ["value", "flag", "count", "label", "sizes", "mode"]
+)
+op_names = st.sampled_from(
+    ["test.alpha", "test.beta", "test.gamma", "custom.thing"]
+)
+
+
+@st.composite
+def random_flat_module(draw):
+    """A module holding a random DAG of unregistered ops."""
+    module = Operation.create("builtin.module", regions=1)
+    block = module.regions[0].add_block()
+    builder = Builder.at_end(block)
+    available = []
+    for _ in range(draw(st.integers(1, 10))):
+        n_operands = draw(st.integers(0, min(2, len(available))))
+        operands = [
+            draw(st.sampled_from(available)) for _ in range(n_operands)
+        ] if available else []
+        n_results = draw(st.integers(0, 2))
+        result_types = [draw(types) for _ in range(n_results)]
+        attributes = {
+            draw(attr_names): draw(attr_values)
+            for _ in range(draw(st.integers(0, 2)))
+        }
+        op = builder.create(
+            draw(op_names),
+            operands=operands,
+            result_types=result_types,
+            attributes=attributes or None,
+        )
+        available.extend(op.results)
+    return module
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_flat_module())
+def test_flat_roundtrip(module):
+    text = print_op(module)
+    assert print_op(parse(text)) == text
+
+
+@st.composite
+def random_nested_module(draw, depth=0):
+    module = Operation.create("builtin.module", regions=1)
+    block = module.regions[0].add_block()
+    _fill_block(draw, block, depth=0)
+    return module
+
+
+def _fill_block(draw, block, depth):
+    builder = Builder.at_end(block)
+    available = list(block.args)
+    for _ in range(draw(st.integers(1, 5))):
+        with_region = depth < 2 and draw(st.booleans())
+        operands = (
+            [draw(st.sampled_from(available))]
+            if available and draw(st.booleans())
+            else []
+        )
+        op = builder.create(
+            draw(op_names),
+            operands=operands,
+            result_types=[draw(types)] if draw(st.booleans()) else [],
+            regions=1 if with_region else 0,
+        )
+        if with_region:
+            n_args = draw(st.integers(0, 2))
+            inner = op.regions[0].add_block(
+                Block([draw(types) for _ in range(n_args)])
+            )
+            _fill_block(draw, inner, depth + 1)
+        available.extend(op.results)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_nested_module())
+def test_nested_roundtrip(module):
+    text = print_op(module)
+    assert print_op(parse(text)) == text
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_nested_module())
+def test_clone_print_equivalence(module):
+    """Cloning is a semantic no-op: identical textual form."""
+    assert print_op(module.clone()) == print_op(module)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_flat_module())
+def test_reparse_is_idempotent(module):
+    once = print_op(parse(print_op(module)))
+    twice = print_op(parse(once))
+    assert once == twice

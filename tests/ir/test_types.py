@@ -1,0 +1,129 @@
+"""Tests for the type system."""
+
+import pytest
+
+from repro.ir.types import (
+    DYNAMIC,
+    F32,
+    F64,
+    FunctionType,
+    I1,
+    I32,
+    INDEX,
+    IndexType,
+    IntegerType,
+    LLVMPointerType,
+    LLVMStructType,
+    MemRefLayout,
+    MemRefType,
+    NONE,
+    OpaqueType,
+    TensorType,
+    VectorType,
+    memref,
+    tensor,
+    vector,
+)
+
+
+class TestScalarTypes:
+    def test_integer_str(self):
+        assert str(IntegerType(32)) == "i32"
+        assert str(IntegerType(1)) == "i1"
+
+    def test_signed_integer_str(self):
+        assert str(IntegerType(8, signed=True)) == "si8"
+        assert str(IntegerType(8, signed=False)) == "ui8"
+
+    def test_index_and_float(self):
+        assert str(INDEX) == "index"
+        assert str(F32) == "f32"
+        assert str(NONE) == "none"
+
+    def test_equality_and_hash(self):
+        assert IntegerType(32) == I32
+        assert hash(IntegerType(32)) == hash(I32)
+        assert IntegerType(32) != IntegerType(64)
+        assert IntegerType(32) != F32
+
+    def test_singletons_are_equal_to_fresh_instances(self):
+        assert IndexType() == INDEX
+
+
+class TestFunctionType:
+    def test_single_result_str(self):
+        ft = FunctionType((I32, F32), (I32,))
+        assert str(ft) == "(i32, f32) -> i32"
+
+    def test_multi_result_str(self):
+        ft = FunctionType((I32,), (I32, F32))
+        assert str(ft) == "(i32) -> (i32, f32)"
+
+    def test_empty(self):
+        assert str(FunctionType((), ())) == "() -> ()"
+
+
+class TestShapedTypes:
+    def test_tensor_str(self):
+        assert str(tensor(4, 4)) == "tensor<4x4xf32>"
+        assert str(TensorType((2, DYNAMIC), F64)) == "tensor<2x?xf64>"
+
+    def test_vector_str(self):
+        assert str(vector(8)) == "vector<8xf32>"
+
+    def test_rank_and_elements(self):
+        t = tensor(3, 5)
+        assert t.rank == 2
+        assert t.num_elements == 15
+        assert t.has_static_shape
+
+    def test_dynamic_shape_has_no_element_count(self):
+        t = TensorType((DYNAMIC,), F32)
+        assert not t.has_static_shape
+        with pytest.raises(ValueError):
+            t.num_elements
+
+    def test_rank_zero_tensor(self):
+        t = TensorType((), F32)
+        assert t.rank == 0
+        assert t.num_elements == 1
+
+
+class TestMemRefType:
+    def test_plain_str(self):
+        assert str(memref(4, 4)) == "memref<4x4xf32>"
+
+    def test_identity_strides(self):
+        assert memref(4, 8).identity_strides() == (8, 1)
+        assert memref(2, 3, 4).identity_strides() == (12, 4, 1)
+
+    def test_identity_layout_detection(self):
+        assert memref(4, 4).has_identity_layout
+        strided = MemRefType((4, 4), F32, MemRefLayout(DYNAMIC, (DYNAMIC, DYNAMIC)))
+        assert not strided.has_identity_layout
+
+    def test_explicit_identity_layout(self):
+        explicit = MemRefType((4, 8), F32, MemRefLayout(0, (8, 1)))
+        assert explicit.has_identity_layout
+
+    def test_strided_layout_str(self):
+        layout = MemRefLayout(DYNAMIC, (DYNAMIC, 1))
+        assert "strided<[?, 1], offset: ?>" in str(
+            MemRefType((4, 4), F32, layout)
+        )
+
+    def test_memory_space_str(self):
+        assert str(MemRefType((4,), F32, None, 3)) == "memref<4xf32, 3>"
+
+
+class TestLLVMTypes:
+    def test_pointer(self):
+        assert str(LLVMPointerType()) == "!llvm.ptr"
+        assert str(LLVMPointerType(1)) == "!llvm.ptr<1>"
+
+    def test_struct(self):
+        s = LLVMStructType((I32, LLVMPointerType()))
+        assert str(s) == "!llvm.struct<(i32, !llvm.ptr)>"
+
+    def test_opaque(self):
+        assert str(OpaqueType("foo", "bar")) == "!foo.bar"

@@ -1,0 +1,64 @@
+"""Tests for the synthetic Table-1 model graphs."""
+
+import pytest
+
+from repro.mlmodels import MODEL_SPECS, build_model, count_ops
+
+#: The op counts Table 1 reports per model.
+PAPER_COUNTS = {
+    "squeezenet": 126,
+    "gpt2": 2861,
+    "mobilebert": 4134,
+    "whisper_decoder": 847,
+    "bert_base": 1182,
+}
+
+
+class TestSpecs:
+    def test_all_five_models_present(self):
+        assert set(MODEL_SPECS) == set(PAPER_COUNTS)
+
+    def test_spec_counts_match_paper(self):
+        for name, count in PAPER_COUNTS.items():
+            assert MODEL_SPECS[name].n_ops == count
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", sorted(PAPER_COUNTS))
+    def test_exact_op_count(self, name):
+        module = build_model(name)
+        assert count_ops(module) == PAPER_COUNTS[name]
+
+    def test_graphs_verify(self):
+        build_model("squeezenet").verify()
+        build_model("whisper_decoder").verify()
+
+    def test_cnn_uses_convs(self):
+        module = build_model("squeezenet")
+        names = [op.name for op in module.walk()]
+        assert "tosa.conv2d" in names
+        assert "tosa.clamp" in names
+
+    def test_transformers_use_matmuls(self):
+        module = build_model("bert_base")
+        names = [op.name for op in module.walk()]
+        assert names.count("tosa.matmul") > 20
+        assert "tosa.softmax" in names
+
+    def test_single_function_named_main(self):
+        module = build_model("whisper_decoder")
+        functions = list(module.walk_ops("func.func"))
+        assert len(functions) == 1
+        assert functions[0].sym_name == "main"
+
+    def test_graph_is_connected(self):
+        """Every op result feeds something (except the returned value)."""
+        module = build_model("squeezenet")
+        dangling = [
+            op.name
+            for op in module.walk()
+            if op.name.startswith("tosa.")
+            and op.results
+            and not any(r.has_uses() for r in op.results)
+        ]
+        assert dangling == []

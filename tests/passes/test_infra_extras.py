@@ -1,0 +1,76 @@
+"""Extra pass-infrastructure coverage: FunctionPass, timing, printing."""
+
+import pytest
+
+from repro.dialects import builtin, func
+from repro.ir import Builder, I32
+from repro.ir.printer import value_name
+from repro.passes.manager import FunctionPass, PassManager, PassTiming
+
+
+class MarkingPass(FunctionPass):
+    NAME = "test-marking"
+
+    def run_on_function(self, func_op):
+        func_op.set_attr("visited", True)
+
+
+class TestFunctionPass:
+    def build_module(self, n=3):
+        module = builtin.module()
+        for index in range(n):
+            f = func.func(f"f{index}", [])
+            module.body.append(f)
+            Builder.at_end(f.body).create("func.return")
+        return module
+
+    def test_runs_on_every_function(self):
+        module = self.build_module(3)
+        MarkingPass().run(module)
+        functions = list(module.walk_ops("func.func"))
+        assert all(f.attr("visited") is not None for f in functions)
+
+    def test_runs_directly_on_a_function(self):
+        module = self.build_module(1)
+        f = next(module.walk_ops("func.func"))
+        MarkingPass().run(f)
+        assert f.attr("visited") is not None
+
+
+class TestPassTiming:
+    def test_total_sums_per_pass(self):
+        timing = PassTiming([("a", 0.5), ("b", 0.25)])
+        assert timing.total == pytest.approx(0.75)
+
+    def test_render_contains_rows(self):
+        timing = PassTiming([("canonicalize", 0.001)])
+        rendered = timing.render()
+        assert "canonicalize" in rendered
+        assert "total" in rendered
+
+    def test_manager_timing_shape(self):
+        module = builtin.module()
+        timing = PassManager(["cse", "cse", "canonicalize"]).run(module)
+        assert [name for name, _ in timing.per_pass] == [
+            "cse", "cse", "canonicalize"
+        ]
+
+
+class TestValueName:
+    def test_reports_printed_name(self):
+        module = builtin.module()
+        f = func.func("f", [I32])
+        module.body.append(f)
+        builder = Builder.at_end(f.body)
+        op = builder.create("test.op", operands=[f.body.args[0]],
+                            result_types=[I32])
+        builder.create("func.return")
+        assert value_name(module, f.body.args[0]) == "%0"
+        assert value_name(module, op.result) == "%1"
+
+    def test_unknown_value(self):
+        from repro.ir import Operation
+
+        module = builtin.module()
+        stray = Operation.create("test.stray", result_types=[I32])
+        assert value_name(module, stray.result) == "<unknown>"

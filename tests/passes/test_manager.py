@@ -1,0 +1,109 @@
+"""Tests for the pass manager and pipeline parsing."""
+
+import pytest
+
+from repro.dialects import builtin
+from repro.ir import Operation
+from repro.passes import PASS_REGISTRY, Pass, PassManager, parse_pipeline, register_pass
+
+
+class CountingPass(Pass):
+    NAME = "test-counting"
+    runs = 0
+
+    def run(self, op):
+        CountingPass.runs += 1
+
+
+if "test-counting" not in PASS_REGISTRY:
+    register_pass(CountingPass)
+
+
+class TestRegistry:
+    def test_core_passes_registered(self):
+        for name in ("canonicalize", "cse", "inline",
+                     "loop-invariant-code-motion", "convert-scf-to-cf",
+                     "reconcile-unrealized-casts", "lower-affine",
+                     "tosa-to-linalg"):
+            assert name in PASS_REGISTRY
+
+    def test_register_requires_name(self):
+        class Nameless(Pass):
+            pass
+
+        with pytest.raises(ValueError):
+            register_pass(Nameless)
+
+
+class TestPassManager:
+    def test_add_by_name_and_instance(self):
+        manager = PassManager()
+        manager.add("canonicalize")
+        manager.add(CountingPass())
+        assert manager.pipeline_string() == "canonicalize,test-counting"
+
+    def test_unknown_pass(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            PassManager().add("no-such-pass")
+
+    def test_run_returns_timing(self):
+        module = builtin.module()
+        manager = PassManager(["canonicalize", "cse"])
+        timing = manager.run(module)
+        assert len(timing.per_pass) == 2
+        assert timing.total >= 0
+        assert "canonicalize" in timing.render()
+
+    def test_runs_in_order(self):
+        order = []
+
+        class A(Pass):
+            NAME = "order-a"
+
+            def run(self, op):
+                order.append("a")
+
+        class B(Pass):
+            NAME = "order-b"
+
+            def run(self, op):
+                order.append("b")
+
+        manager = PassManager([A(), B(), A()])
+        manager.run(builtin.module())
+        assert order == ["a", "b", "a"]
+
+    def test_verify_each(self):
+        class Corrupting(Pass):
+            NAME = "corrupting"
+
+            def run(self, op):
+                # Append a terminator in a wrong position.
+                from repro.ir import Block, Operation
+
+                block = op.regions[0].entry_block
+                block.insert(0, Operation.create("func.return"))
+                block.append(Operation.create("test.after"))
+
+        module = builtin.module()
+        manager = PassManager([Corrupting()], verify_each=True)
+        with pytest.raises(ValueError):
+            manager.run(module)
+
+
+class TestPipelineParsing:
+    def test_simple(self):
+        manager = parse_pipeline("canonicalize,cse")
+        assert [p.NAME for p in manager.passes] == ["canonicalize", "cse"]
+
+    def test_options(self):
+        manager = parse_pipeline("inline(always=1)")
+        assert manager.passes[0].options == {"always": 1}
+
+    def test_whitespace_and_empty_chunks(self):
+        manager = parse_pipeline(" canonicalize , ,cse ")
+        assert len(manager.passes) == 2
+
+    def test_unknown_pass_in_pipeline(self):
+        with pytest.raises(ValueError):
+            parse_pipeline("definitely-not-a-pass")

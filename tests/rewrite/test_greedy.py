@@ -1,0 +1,117 @@
+"""Tests for the greedy pattern rewrite driver."""
+
+import pytest
+
+from repro.dialects import builtin, func
+from repro.ir import Builder, I32, Operation
+from repro.rewrite.greedy import GreedyRewriteConfig, apply_patterns_greedily
+from repro.rewrite.pattern import pattern
+
+
+def build_chain(n=3):
+    """module { func { test.a -> test.a -> ... } }"""
+    module = builtin.module()
+    f = func.func("f", [])
+    module.body.append(f)
+    builder = Builder.at_end(f.body)
+    for _ in range(n):
+        builder.create("test.a")
+    func.return_(builder)
+    return module
+
+
+@pattern("test.a", label="a-to-b")
+def a_to_b(op, rewriter):
+    new_op = rewriter.replace_op_with(op, "test.b")
+    return True
+
+
+@pattern("test.b", label="b-to-c")
+def b_to_c(op, rewriter):
+    rewriter.replace_op_with(op, "test.c")
+    return True
+
+
+class TestGreedyDriver:
+    def test_applies_until_fixpoint(self):
+        module = build_chain(3)
+        changed = apply_patterns_greedily(module, [a_to_b, b_to_c])
+        assert changed
+        names = [op.name for op in module.walk()]
+        assert names.count("test.c") == 3
+        assert "test.a" not in names
+        assert "test.b" not in names
+
+    def test_no_change_returns_false(self):
+        module = build_chain(0)
+        assert not apply_patterns_greedily(module, [a_to_b])
+
+    def test_new_ops_are_revisited(self):
+        """a -> b happens first; b -> c must fire on the new op."""
+        module = build_chain(1)
+        apply_patterns_greedily(module, [a_to_b, b_to_c])
+        assert any(op.name == "test.c" for op in module.walk())
+
+    def test_benefit_ordering(self):
+        fired = []
+
+        @pattern("test.a", benefit=1, label="low")
+        def low(op, rewriter):
+            fired.append("low")
+            rewriter.replace_op_with(op, "test.done")
+            return True
+
+        @pattern("test.a", benefit=10, label="high")
+        def high(op, rewriter):
+            fired.append("high")
+            rewriter.replace_op_with(op, "test.done")
+            return True
+
+        module = build_chain(1)
+        apply_patterns_greedily(module, [low, high])
+        assert fired == ["high"]
+
+    def test_generic_patterns_match_any_root(self):
+        matched = []
+
+        @pattern(label="any")
+        def observe(op, rewriter):
+            matched.append(op.name)
+            return False
+
+        module = build_chain(2)
+        apply_patterns_greedily(module, [observe])
+        assert "test.a" in matched
+        assert "func.func" in matched
+
+    def test_ping_pong_guard(self):
+        @pattern("test.a", label="to-b")
+        def to_b(op, rewriter):
+            rewriter.replace_op_with(op, "test.b")
+            return True
+
+        @pattern("test.b", label="back-to-a")
+        def back(op, rewriter):
+            rewriter.replace_op_with(op, "test.a")
+            return True
+
+        module = build_chain(1)
+        config = GreedyRewriteConfig(max_iterations=100, max_rewrites=50)
+        with pytest.raises(RuntimeError, match="max_rewrites"):
+            apply_patterns_greedily(module, [to_b, back], config)
+
+    def test_extra_listener_sees_replacements(self):
+        from repro.rewrite.pattern import RewriteListener
+
+        class Recorder(RewriteListener):
+            def __init__(self):
+                self.replaced = []
+
+            def notify_op_replaced(self, op, new_values):
+                self.replaced.append(op.name)
+
+        recorder = Recorder()
+        module = build_chain(2)
+        apply_patterns_greedily(module, [a_to_b],
+                                extra_listeners=[recorder])
+        assert recorder.replaced.count("test.a") == 2

@@ -1,0 +1,33 @@
+"""The textual schedules shipped under examples/schedules/ must work."""
+
+import pathlib
+
+import pytest
+
+from repro.ir.parser import parse
+from repro.tools import transform_opt
+
+SCHEDULES_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "examples" / "schedules"
+)
+
+
+@pytest.mark.skipif(not SCHEDULES_DIR.exists(),
+                    reason="schedules directory not present")
+class TestShippedSchedules:
+    def test_files_parse(self):
+        for path in SCHEDULES_DIR.glob("*.mlir"):
+            parse(path.read_text(), str(path)).verify()
+
+    def test_fig8_schedule_applies_to_resnet_payload(self):
+        payload = (SCHEDULES_DIR / "resnet_layer.mlir").read_text()
+        schedule = (SCHEDULES_DIR / "fig8_schedule.mlir").read_text()
+        output = transform_opt(payload, schedule)
+        assert '"func.call"' in output
+        assert "libxsmm_smm_32x32x256" in output
+
+    def test_comments_are_skipped_by_the_lexer(self):
+        op = parse("// leading comment\n"
+                   '"test.op"() : () -> ()  // trailing\n')
+        assert op.name == "test.op"

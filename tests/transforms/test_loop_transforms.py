@@ -1,0 +1,325 @@
+"""Tests for loop transformations, validated against the interpreter.
+
+Every transformation must preserve program semantics: we run the
+original and the transformed matmul through the reference interpreter
+and compare buffers (also as hypothesis properties over sizes).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.execution.interpreter import PayloadInterpreter
+from repro.execution.workloads import build_matmul_module, reference_matmul
+from repro.transforms import (
+    LoopTransformError,
+    fuse_sibling_loops,
+    hoist_loop_invariants_to,
+    interchange_loops,
+    split_loop,
+    tile_loop,
+    tile_loop_nest,
+    unroll_loop,
+)
+
+
+def first_loop(module):
+    return next(module.walk_ops("scf.for"))
+
+
+def loops_of(module):
+    return [op for op in module.walk() if op.name == "scf.for"]
+
+
+def run_matmul(module, m, n, k, seed=0):
+    a, b, c, expected = reference_matmul(m, n, k, seed)
+    PayloadInterpreter(module).run("matmul", a, b, c)
+    return c, expected
+
+
+class TestSplit:
+    def test_split_trip_counts(self):
+        module = build_matmul_module(10, 4, 4)
+        main, rest = split_loop(first_loop(module), 4)
+        assert main.trip_count() == 8
+        assert rest.trip_count() == 2
+        module.verify()
+
+    def test_split_preserves_semantics(self):
+        module = build_matmul_module(10, 4, 4)
+        split_loop(first_loop(module), 4)
+        c, expected = run_matmul(module, 10, 4, 4)
+        assert np.allclose(c, expected)
+
+    def test_split_divisible_gives_empty_rest(self):
+        module = build_matmul_module(8, 4, 4)
+        main, rest = split_loop(first_loop(module), 4)
+        assert main.trip_count() == 8
+        assert rest.trip_count() == 0
+
+    def test_split_requires_positive_divisor(self):
+        module = build_matmul_module(8, 4, 4)
+        with pytest.raises(LoopTransformError):
+            split_loop(first_loop(module), 0)
+
+    def test_split_requires_constant_bounds(self):
+        from repro.dialects import arith, builtin, func, scf
+        from repro.ir import Builder, INDEX
+
+        module = builtin.module()
+        f = func.func("f", [INDEX])
+        module.body.append(f)
+        builder = Builder.at_end(f.body)
+        zero = arith.index_constant(builder, 0)
+        one = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, zero, f.body.args[0], one)
+        scf.yield_(Builder.at_end(loop.body))
+        func.return_(builder)
+        with pytest.raises(LoopTransformError, match="constant"):
+            split_loop(loop, 4)
+
+    def test_split_threads_iter_args(self):
+        from repro.dialects import arith, builtin, func, scf
+        from repro.ir import Builder, F64
+
+        module = builtin.module()
+        f = func.func("sum", [], [F64])
+        module.body.append(f)
+        builder = Builder.at_end(f.body)
+        lb = arith.index_constant(builder, 0)
+        ub = arith.index_constant(builder, 10)
+        step = arith.index_constant(builder, 1)
+        init = arith.constant(builder, 0.0, F64)
+        one = arith.constant(builder, 1.0, F64)
+        loop = scf.for_(builder, lb, ub, step, [init])
+        body = Builder.at_end(loop.body)
+        updated = arith.addf(body, loop.iter_args[0], one)
+        scf.yield_(body, [updated])
+        func.return_(builder, [loop.results[0]])
+        main, rest = split_loop(loop, 4)
+        module.verify()
+        result = PayloadInterpreter(module).run("sum")
+        assert result == [10.0]
+
+
+class TestTile:
+    def test_tile_structure(self):
+        module = build_matmul_module(8, 4, 4)
+        outer, inner = tile_loop(first_loop(module), 4)
+        assert outer.trip_count() == 2
+        assert inner.trip_count() == 4
+        module.verify()
+
+    def test_tile_preserves_semantics(self):
+        module = build_matmul_module(8, 4, 4)
+        tile_loop(first_loop(module), 4)
+        c, expected = run_matmul(module, 8, 4, 4)
+        assert np.allclose(c, expected)
+
+    def test_tile_requires_divisible(self):
+        module = build_matmul_module(10, 4, 4)
+        with pytest.raises(LoopTransformError, match="divisible"):
+            tile_loop(first_loop(module), 4)
+
+    def test_tile_nest(self):
+        module = build_matmul_module(8, 8, 4)
+        tiles, points = tile_loop_nest(first_loop(module), [4, 4])
+        assert len(tiles) == 2 and len(points) == 2
+        module.verify()
+        c, expected = run_matmul(module, 8, 8, 4)
+        assert np.allclose(c, expected)
+
+    def test_tile_nest_zero_size_skips_dimension(self):
+        module = build_matmul_module(8, 8, 4)
+        tiles, points = tile_loop_nest(first_loop(module), [4, 0])
+        assert len(tiles) == 2 and len(points) == 1
+        c, expected = run_matmul(module, 8, 8, 4)
+        assert np.allclose(c, expected)
+
+    def test_tile_nest_imperfect_rejected(self):
+        module = build_matmul_module(8, 8, 4)
+        # Depth 4 does not exist (only i, j, k).
+        with pytest.raises(LoopTransformError, match="perfect"):
+            tile_loop_nest(first_loop(module), [2, 2, 2, 2])
+
+
+class TestUnroll:
+    def test_full_unroll_erases_loop(self):
+        module = build_matmul_module(4, 2, 2)
+        loops = loops_of(module)
+        unroll_loop(loops[-1], full=True)  # innermost (k) loop
+        module.verify()
+        assert len(loops_of(module)) == 2
+        c, expected = run_matmul(module, 4, 2, 2)
+        assert np.allclose(c, expected)
+
+    def test_partial_unroll(self):
+        module = build_matmul_module(8, 2, 2)
+        unroll_loop(first_loop(module), factor=4)
+        module.verify()
+        new_outer = first_loop(module)
+        assert new_outer.trip_count() == 2
+        c, expected = run_matmul(module, 8, 2, 2)
+        assert np.allclose(c, expected)
+
+    def test_unroll_by_one_is_noop(self):
+        module = build_matmul_module(4, 2, 2)
+        before = len(loops_of(module))
+        unroll_loop(first_loop(module), factor=1)
+        assert len(loops_of(module)) == before
+
+    def test_partial_unroll_requires_divisible(self):
+        module = build_matmul_module(10, 2, 2)
+        with pytest.raises(LoopTransformError, match="divisible"):
+            unroll_loop(first_loop(module), factor=4)
+
+    def test_unroll_requires_factor_or_full(self):
+        module = build_matmul_module(4, 2, 2)
+        with pytest.raises(LoopTransformError):
+            unroll_loop(first_loop(module))
+
+
+class TestInterchange:
+    def test_swaps_bounds_and_ivs(self):
+        module = build_matmul_module(4, 8, 2)
+        i_loop, j_loop, _k = loops_of(module)
+        interchange_loops(i_loop, j_loop)
+        module.verify()
+        assert i_loop.trip_count() == 8  # now iterates j's domain
+        assert j_loop.trip_count() == 4
+        c, expected = run_matmul(module, 4, 8, 2)
+        assert np.allclose(c, expected)
+
+    def test_requires_directly_nested(self):
+        module = build_matmul_module(4, 4, 4)
+        i_loop, _j, k_loop = loops_of(module)
+        with pytest.raises(LoopTransformError, match="nested"):
+            interchange_loops(i_loop, k_loop)
+
+
+class TestHoist:
+    def test_hoists_invariant_before_loop(self):
+        from repro.execution.workloads import build_uneven_loop_module
+
+        module = build_uneven_loop_module()
+        loops = loops_of(module)
+        outer = loops[0]
+        count = hoist_loop_invariants_to(outer)
+        assert count >= 3  # c1, i bounds constants
+        module.verify()
+
+    def test_hoist_to_function_entry(self):
+        from repro.execution.workloads import build_uneven_loop_module
+
+        module = build_uneven_loop_module()
+        function = [
+            op for op in module.walk_ops("func.func")
+            if not op.is_declaration
+        ][0]
+        outer = loops_of(module)[0]
+        hoist_loop_invariants_to(outer, function)
+        module.verify()
+        first_ops = function.body.ops[:3]
+        assert all(op.name == "arith.constant" for op in first_ops)
+
+
+class TestFuse:
+    def build_two_loops(self):
+        from repro.dialects import arith, builtin, func, memref as md, scf
+        from repro.ir import Builder, F64
+        from repro.ir.types import memref
+
+        module = builtin.module()
+        f = func.func("f", [memref(8, element_type=F64),
+                            memref(8, element_type=F64)])
+        module.body.append(f)
+        builder = Builder.at_end(f.body)
+        lb = arith.index_constant(builder, 0)
+        ub = arith.index_constant(builder, 8)
+        step = arith.index_constant(builder, 1)
+        value = arith.constant(builder, 1.0, F64)
+        first = scf.for_(builder, lb, ub, step)
+        fb = Builder.at_end(first.body)
+        md.store(fb, value, f.body.args[0], [first.induction_var])
+        scf.yield_(fb)
+        second = scf.for_(builder, lb, ub, step)
+        sb = Builder.at_end(second.body)
+        md.store(sb, value, f.body.args[1], [second.induction_var])
+        scf.yield_(sb)
+        func.return_(builder)
+        return module, f, first, second
+
+    def test_fuses_adjacent_identical_loops(self):
+        module, f, first, second = self.build_two_loops()
+        fused = fuse_sibling_loops(first, second)
+        module.verify()
+        loops = loops_of(module)
+        assert loops == [fused]
+        stores = [
+            op for op in fused.walk() if op.name == "memref.store"
+        ]
+        assert len(stores) == 2
+
+    def test_fused_semantics(self):
+        module, _f, first, second = self.build_two_loops()
+        fuse_sibling_loops(first, second)
+        a = np.zeros(8)
+        b = np.zeros(8)
+        PayloadInterpreter(module).run("f", a, b)
+        assert (a == 1.0).all() and (b == 1.0).all()
+
+
+# ---------------------------------------------------------------------------
+# Property-based semantic preservation
+# ---------------------------------------------------------------------------
+
+sizes = st.integers(min_value=1, max_value=6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=st.integers(2, 9), divisor=st.integers(1, 5))
+def test_split_always_preserves_matmul(m, divisor):
+    module = build_matmul_module(m, 3, 3)
+    split_loop(first_loop(module), divisor)
+    module.verify()
+    a, b, c, expected = reference_matmul(m, 3, 3, seed=m)
+    PayloadInterpreter(module).run("matmul", a, b, c)
+    assert np.allclose(c, expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=st.sampled_from([4, 6, 8, 12]), n=sizes, k=sizes,
+       tile=st.sampled_from([1, 2]))
+def test_tile_always_preserves_matmul(m, n, k, tile):
+    module = build_matmul_module(m, n, k)
+    tile_loop(first_loop(module), tile * 2 if m % (tile * 2) == 0 else 1)
+    module.verify()
+    a, b, c, expected = reference_matmul(m, n, k, seed=n)
+    PayloadInterpreter(module).run("matmul", a, b, c)
+    assert np.allclose(c, expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=st.sampled_from([4, 8]), factor=st.sampled_from([2, 4]))
+def test_unroll_always_preserves_matmul(m, factor):
+    module = build_matmul_module(m, 3, 3)
+    unroll_loop(first_loop(module), factor=factor)
+    module.verify()
+    a, b, c, expected = reference_matmul(m, 3, 3, seed=m + factor)
+    PayloadInterpreter(module).run("matmul", a, b, c)
+    assert np.allclose(c, expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(m=st.sampled_from([4, 8]), n=st.sampled_from([4, 8]))
+def test_split_then_tile_composition(m, n):
+    """The paper's canonical composition: split, then tile both parts."""
+    module = build_matmul_module(m + 1, n, 3)
+    main, rest = split_loop(first_loop(module), 4)
+    if main.trip_count():
+        tile_loop(main, 4)
+    unroll_loop(rest, full=True)
+    module.verify()
+    a, b, c, expected = reference_matmul(m + 1, n, 3, seed=m * n)
+    PayloadInterpreter(module).run("matmul", a, b, c)
+    assert np.allclose(c, expected)
