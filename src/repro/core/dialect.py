@@ -818,7 +818,7 @@ class ApplyPatternsOp(TransformOp):
         return names
 
     def apply(self, interpreter, state: TransformState) -> TransformResult:
-        from ..rewrite.greedy import apply_patterns_greedily
+        from ..rewrite.greedy import FrozenPatternSet, apply_patterns_greedily
 
         patterns: List[RewritePattern] = []
         for name in self.pattern_names():
@@ -826,9 +826,11 @@ class ApplyPatternsOp(TransformOp):
             if factory is None:
                 return self.definite(f"unknown pattern {name!r}")
             patterns.append(factory())
+        frozen = FrozenPatternSet(patterns)
         for payload_op in state.get_payload(self.operand(0)):
             apply_patterns_greedily(
-                payload_op, patterns, extra_listeners=[state]
+                payload_op, frozen, extra_listeners=[state],
+                profiler=getattr(interpreter, "profiler", None),
             )
         return TransformResult.success()
 

@@ -25,7 +25,12 @@ from .state import HandleInvalidatedError, TransformState
 
 @dataclass
 class InterpreterStats:
-    """Execution statistics (used by the overhead study, Table 1)."""
+    """Execution statistics (used by the overhead study, Table 1).
+
+    ``transforms_executed`` and ``handles_created`` count *successful*
+    transform applications only; ``handles_invalidated`` counts every
+    handle actually invalidated by consumption, aliases included.
+    """
 
     transforms_executed: int = 0
     handles_created: int = 0
@@ -37,10 +42,14 @@ class TransformInterpreter:
     """Executes transform scripts against a payload module."""
 
     def __init__(self, check_types: bool = True,
-                 track_invalidation: bool = True):
+                 track_invalidation: bool = True,
+                 profiler=None):
         self.check_types = check_types
         #: Ablation knob: disable nested-alias invalidation tracking.
         self.track_invalidation = track_invalidation
+        #: Optional :class:`repro.profiling.Profiler` recording
+        #: per-transform-op timing and invalidation fan-out.
+        self.profiler = profiler
         self.output: List[str] = []
         self.stats = InterpreterStats()
 
@@ -81,13 +90,18 @@ class TransformInterpreter:
         if script.name in ("transform.sequence",
                            "transform.named_sequence"):
             return script
+        # Only *top-level* ops of the script are entry-point candidates:
+        # sequences nested inside named_sequence bodies are helpers the
+        # entry invokes (via include), never the entry itself.
         sequences: List[Operation] = []
         named: List[Operation] = []
-        for op in script.walk():
-            if op.name == "transform.sequence":
-                sequences.append(op)
-            elif op.name == "transform.named_sequence":
-                named.append(op)
+        for region in script.regions:
+            for block in region.blocks:
+                for op in block.ops:
+                    if op.name == "transform.sequence":
+                        sequences.append(op)
+                    elif op.name == "transform.named_sequence":
+                        named.append(op)
         if entry_point is not None:
             for candidate in named:
                 name = candidate.attr("sym_name")
@@ -129,13 +143,26 @@ class TransformInterpreter:
             type_error = self._check_operand_types(op, state)
             if type_error is not None:
                 return type_error
-        try:
-            result = op.apply(self, state)
-        except HandleInvalidatedError as error:
-            return TransformResult.definite(str(error), op)
-        self.stats.transforms_executed += 1
-        self.stats.handles_created += len(op.results)
+        if self.profiler is not None:
+            start = time.perf_counter()
+            try:
+                result = op.apply(self, state)
+            except HandleInvalidatedError as error:
+                return TransformResult.definite(str(error), op)
+            finally:
+                self.profiler.record_transform(
+                    op.name, time.perf_counter() - start
+                )
+        else:
+            try:
+                result = op.apply(self, state)
+            except HandleInvalidatedError as error:
+                return TransformResult.definite(str(error), op)
         if result.succeeded:
+            # Stats count successful applications only: a failed apply
+            # executed nothing and mapped no result handles.
+            self.stats.transforms_executed += 1
+            self.stats.handles_created += len(op.results)
             self._process_consumption(op, state)
         return result
 
@@ -147,10 +174,14 @@ class TransformInterpreter:
             return
         for index in consumed:
             if index < op.num_operands:
-                state.invalidate(
+                count = state.invalidate(
                     op.operand(index), f"'{op.name}' consuming its operand"
                 )
-                self.stats.handles_invalidated += 1
+                # The real invalidation count: the operand handle plus
+                # every alias, not 1 per consumed operand.
+                self.stats.handles_invalidated += count
+                if self.profiler is not None:
+                    self.profiler.record_invalidation(count)
 
     def _check_operand_types(self, op: Operation,
                              state: TransformState) -> Optional[TransformResult]:

@@ -10,15 +10,20 @@ handles (SSA values) and payload operations (paper §3), including:
   :class:`~repro.rewrite.pattern.RewriteListener`, so pattern drivers
   notify it when payload ops are replaced or erased and handles are
   updated instead of dangling.
+
+A reverse index (payload op -> handles mapped to it) keeps both
+invalidation and the rewrite-event listeners near-O(affected): a consume
+walks the ancestor chains of the mapped ops instead of cross-checking
+every handle against every payload op, and replace/erase events touch
+only the handles that actually reference the rewritten op.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..ir.core import Operation, Value
 from ..rewrite.pattern import RewriteListener
-from .errors import TransformResult
 
 #: Parameters are lists of plain Python constants (ints mostly).
 ParamValue = List[object]
@@ -41,11 +46,43 @@ class TransformState(RewriteListener):
         self._params: Dict[int, ParamValue] = {}
         self._values: Dict[int, Value] = {}  # handle id -> handle value
         self._invalidated: Dict[int, str] = {}
+        #: Reverse index: payload-op id -> ids of handles mapped to it.
+        #: Entries exist only while the op appears in some ``_ops`` list
+        #: (which holds a strong reference), so ids cannot be recycled
+        #: while indexed.
+        self._op_handles: Dict[int, Set[int]] = {}
+        #: Strong op reference per indexed id (for ancestor walks).
+        self._indexed_ops: Dict[int, Operation] = {}
+
+    # -- reverse index maintenance ------------------------------------------
+
+    def _index_add(self, handle_id: int, ops: Iterable[Operation]) -> None:
+        for op in ops:
+            bucket = self._op_handles.get(id(op))
+            if bucket is None:
+                bucket = self._op_handles[id(op)] = set()
+                self._indexed_ops[id(op)] = op
+            bucket.add(handle_id)
+
+    def _index_discard(self, handle_id: int,
+                       ops: Iterable[Operation]) -> None:
+        for op in ops:
+            bucket = self._op_handles.get(id(op))
+            if bucket is None:
+                continue
+            bucket.discard(handle_id)
+            if not bucket:
+                del self._op_handles[id(op)]
+                del self._indexed_ops[id(op)]
 
     # -- mapping -----------------------------------------------------------
 
     def set_payload(self, handle: Value, ops: Sequence[Operation]) -> None:
+        old = self._ops.get(id(handle))
+        if old:
+            self._index_discard(id(handle), old)
         self._ops[id(handle)] = list(ops)
+        self._index_add(id(handle), ops)
         self._values[id(handle)] = handle
         self._invalidated.pop(id(handle), None)
 
@@ -77,64 +114,104 @@ class TransformState(RewriteListener):
 
     # -- invalidation ---------------------------------------------------------
 
-    def invalidate(self, handle: Value, reason: str) -> None:
+    def invalidate(self, handle: Value, reason: str) -> int:
         """Invalidate ``handle`` and every aliasing handle.
 
-        Aliasing is discovered by traversing the payload IR along with
-        the handle/operation mapping: invalidating a handle also
-        invalidates any other handle to the *same* payload operations
-        or to operations *nested in* them (§3.1). Handles to enclosing
-        operations stay valid — the ancestors survive the rewrite.
+        Aliasing is discovered through the reverse index: a handle
+        aliases the consumed one when any of its payload ops *is* a
+        consumed op or is *nested in* one (§3.1), so it suffices to
+        walk the ancestor chain of every currently-mapped payload op —
+        O(mapped ops x depth) instead of O(handles x payload). Handles
+        to enclosing operations stay valid — the ancestors survive the
+        rewrite.
+
+        Returns the number of handles newly invalidated (the operand
+        handle itself plus every alias).
         """
         targets = self._ops.get(id(handle), [])
+        count = 0
+        if id(handle) not in self._invalidated:
+            count += 1
         self._invalidated[id(handle)] = reason
         if not targets:
-            return
-        for other_id, other_ops in self._ops.items():
-            if other_id == id(handle) or other_id in self._invalidated:
+            return count
+        target_ids = {id(t) for t in targets}
+        alias_reason = (
+            f"{reason} (aliasing handle: payload same as or "
+            "nested in the consumed payload)"
+        )
+        for op_id, mapped_op in list(self._indexed_ops.items()):
+            # Is this mapped op a consumed op, or nested inside one?
+            node: Optional[Operation] = mapped_op
+            hit = False
+            while node is not None:
+                if id(node) in target_ids:
+                    hit = True
+                    break
+                node = node.parent_op
+            if not hit:
                 continue
-            if any(
-                consumed is other or consumed.is_ancestor_of(other)
-                for consumed in targets
-                for other in other_ops
-            ):
-                self._invalidated[other_id] = (
-                    f"{reason} (aliasing handle: payload same as or "
-                    "nested in the consumed payload)"
-                )
+            for other_id in self._op_handles.get(op_id, ()):
+                if other_id == id(handle) or other_id in self._invalidated:
+                    continue
+                self._invalidated[other_id] = alias_reason
+                count += 1
+        return count
 
     # -- rewrite-driver event subscription (paper §3.1) -------------------------
 
     def notify_op_replaced(self, op: Operation,
                            new_values: Sequence[Value]) -> None:
-        """Update handles to point at the replacement operation."""
+        """Update handles to point at the replacement operation.
+
+        When no replacement op defines the new values (e.g. the results
+        were replaced with block arguments), the op is dropped from the
+        mapping. Every occurrence is rewritten — the list is rebuilt
+        rather than edited in place, so a drop cannot shift later
+        occurrences onto the wrong element.
+        """
         replacement: Optional[Operation] = None
         for value in new_values:
             defining = value.defining_op()
             if defining is not None:
                 replacement = defining
                 break
-        for ops in self._ops.values():
-            for index, mapped in enumerate(list(ops)):
-                if mapped is op:
-                    if replacement is not None:
-                        ops[index] = replacement
-                    else:
-                        ops.remove(mapped)
+        self._repoint(op, replacement)
 
     def notify_op_replaced_with_op(self, op: Operation,
                                    new_op: Operation) -> None:
         """Repoint handles at the replacement op (covers 0-result ops)."""
-        for ops in self._ops.values():
-            for index, mapped in enumerate(ops):
-                if mapped is op:
-                    ops[index] = new_op
+        self._repoint(op, new_op)
 
     def notify_op_erased(self, op: Operation) -> None:
         """Drop erased ops from every mapping (empty set, not dangling)."""
-        for ops in self._ops.values():
-            while op in ops:
-                ops.remove(op)
+        self._repoint(op, None)
+
+    def _repoint(self, op: Operation,
+                 replacement: Optional[Operation]) -> None:
+        handle_ids = self._op_handles.get(id(op))
+        if not handle_ids:
+            return
+        for handle_id in list(handle_ids):
+            ops = self._ops[handle_id]
+            if replacement is not None:
+                self._ops[handle_id] = [
+                    replacement if mapped is op else mapped
+                    for mapped in ops
+                ]
+            else:
+                self._ops[handle_id] = [
+                    mapped for mapped in ops if mapped is not op
+                ]
+        old_handles = list(handle_ids)
+        self._index_discard_op(op)
+        if replacement is not None:
+            for handle_id in old_handles:
+                self._index_add(handle_id, [replacement])
+
+    def _index_discard_op(self, op: Operation) -> None:
+        self._op_handles.pop(id(op), None)
+        self._indexed_ops.pop(id(op), None)
 
     # -- queries ------------------------------------------------------------------
 
@@ -146,5 +223,3 @@ class TransformState(RewriteListener):
         for ops in self._ops.values():
             out.extend(ops)
         return out
-
-

@@ -11,12 +11,25 @@ from typing import List
 
 from ..ir.attributes import IntegerAttr
 from ..ir.core import Commutative, Operation, Pure
-from ..rewrite.greedy import apply_patterns_greedily
+from ..rewrite.greedy import FrozenPatternSet, apply_patterns_greedily
 from ..rewrite.pattern import PatternRewriter, RewritePattern, pattern
 from .manager import Pass, register_pass
 
 #: Patterns run by the canonicalize pass; extend via register_canonicalization.
 CANONICALIZATION_PATTERNS: List[RewritePattern] = []
+
+#: Frozen (bucketed, benefit-sorted) view of the registry, rebuilt only
+#: when new patterns are registered.
+_frozen_cache: tuple = (0, None)
+
+
+def frozen_canonicalization_patterns() -> FrozenPatternSet:
+    global _frozen_cache
+    count, frozen = _frozen_cache
+    if frozen is None or count != len(CANONICALIZATION_PATTERNS):
+        frozen = FrozenPatternSet(CANONICALIZATION_PATTERNS)
+        _frozen_cache = (len(CANONICALIZATION_PATTERNS), frozen)
+    return frozen
 
 
 def register_canonicalization(pat: RewritePattern) -> RewritePattern:
@@ -202,24 +215,31 @@ def fold_constant_if(op: Operation, rewriter: PatternRewriter) -> bool:
 
 
 def eliminate_dead_code(root: Operation) -> bool:
-    """Erase unused pure ops (iterates to handle chains)."""
+    """Erase unused pure ops, chasing def-use chains with a worklist.
+
+    A single walk seeds the worklist; erasing an op re-enqueues its
+    operand definers, so chains of dead ops cost O(erased) instead of
+    one full sweep per chain link.
+    """
+    worklist = [op for op in root.walk() if op is not root]
     changed = False
-    while True:
-        dead = [
-            op
-            for op in root.walk()
-            if op is not root
-            and op.parent is not None
-            and op.has_trait(Pure)
-            and op.results
-            and not any(r.has_uses() for r in op.results)
+    while worklist:
+        op = worklist.pop()
+        if (
+            op.parent is None
+            or not op.has_trait(Pure)
+            or not op.results
+            or any(r.has_uses() for r in op.results)
+        ):
+            continue
+        defs = [
+            d for d in (v.defining_op() for v in op.operands)
+            if d is not None
         ]
-        if not dead:
-            return changed
-        for op in dead:
-            if op.parent is not None:
-                op.erase()
+        op.erase()
         changed = True
+        worklist.extend(defs)
+    return changed
 
 
 @register_pass
@@ -230,5 +250,8 @@ class CanonicalizePass(Pass):
     DESCRIPTION = "apply canonicalization patterns and eliminate dead code"
 
     def run(self, op: Operation) -> None:
-        apply_patterns_greedily(op, CANONICALIZATION_PATTERNS)
+        apply_patterns_greedily(
+            op, frozen_canonicalization_patterns(),
+            profiler=self.options.get("profiler"),
+        )
         eliminate_dead_code(op)

@@ -97,13 +97,32 @@ class PassManager:
         self.passes.append(cls(**options))
         return self
 
-    def run(self, module: Operation) -> PassTiming:
-        """Run the pipeline, returning per-pass timing."""
+    def run(self, module: Operation, profiler=None) -> PassTiming:
+        """Run the pipeline, returning per-pass timing.
+
+        ``profiler`` (a :class:`repro.profiling.Profiler`) additionally
+        records each pass into the shared timing report.
+        """
         timing = PassTiming()
         for pass_ in self.passes:
+            # Expose the profiler to passes that instrument their own
+            # internals (e.g. canonicalize's greedy driver), unless the
+            # pass was constructed with an explicit one.
+            lent_profiler = (
+                profiler is not None and "profiler" not in pass_.options
+            )
+            if lent_profiler:
+                pass_.options["profiler"] = profiler
             start = time.perf_counter()
-            pass_.run(module)
-            timing.per_pass.append((pass_.NAME, time.perf_counter() - start))
+            try:
+                pass_.run(module)
+            finally:
+                if lent_profiler:
+                    del pass_.options["profiler"]
+            elapsed = time.perf_counter() - start
+            timing.per_pass.append((pass_.NAME, elapsed))
+            if profiler is not None:
+                profiler.record_pass(pass_.NAME, elapsed)
             if self.verify_each:
                 module.verify()
         return timing

@@ -16,7 +16,7 @@ from ..ir.builder import Builder
 from ..ir.core import Block, Operation, Value
 from ..ir.types import ShapedType, TensorType, Type
 from ..rewrite.conversion import ConversionTarget, apply_conversion
-from ..rewrite.greedy import apply_patterns_greedily
+from ..rewrite.greedy import FrozenPatternSet, apply_patterns_greedily
 from ..rewrite.pattern import PatternRewriter, pattern
 from .manager import Pass, PassManager, register_pass
 
@@ -131,12 +131,16 @@ class TosaOptionalDecompositionsPass(Pass):
                       "tosa.mul", "tosa.transpose", "tosa.matmul",
                       "tosa.add", "tosa.reverse", "tosa.pad", "tosa.conv2d"}
 
+    #: Frozen once: the same three patterns drive every module.
+    _FROZEN: Optional[FrozenPatternSet] = None
+
     def run(self, op: Operation) -> None:
-        apply_patterns_greedily(
-            op,
-            [decompose_softmax, decompose_fully_connected,
-             decompose_transpose_conv],
-        )
+        if TosaOptionalDecompositionsPass._FROZEN is None:
+            TosaOptionalDecompositionsPass._FROZEN = FrozenPatternSet(
+                [decompose_softmax, decompose_fully_connected,
+                 decompose_transpose_conv]
+            )
+        apply_patterns_greedily(op, TosaOptionalDecompositionsPass._FROZEN)
 
 
 # ---------------------------------------------------------------------------

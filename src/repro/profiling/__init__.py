@@ -1,0 +1,23 @@
+"""Observability for the transform hot paths (PR 1).
+
+:class:`Profiler` collects per-pattern, per-transform-op and per-pass
+wall time plus worklist and invalidation counters, and renders them as
+a ``-mlir-timing``-style text report. See README "Profiling & timing
+reports".
+"""
+
+from .profiler import (
+    InvalidationStats,
+    PatternStat,
+    Profiler,
+    TimedStat,
+    WorklistStats,
+)
+
+__all__ = [
+    "InvalidationStats",
+    "PatternStat",
+    "Profiler",
+    "TimedStat",
+    "WorklistStats",
+]

@@ -6,7 +6,11 @@ from .pattern import (
     RewritePattern,
     pattern,
 )
-from .greedy import GreedyRewriteConfig, apply_patterns_greedily
+from .greedy import (
+    FrozenPatternSet,
+    GreedyRewriteConfig,
+    apply_patterns_greedily,
+)
 from .conversion import (
     ConversionError,
     ConversionTarget,
@@ -17,6 +21,7 @@ from .conversion import (
 __all__ = [
     "ConversionError",
     "ConversionTarget",
+    "FrozenPatternSet",
     "GreedyRewriteConfig",
     "PatternRewriter",
     "RewriteListener",

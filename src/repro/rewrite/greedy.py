@@ -2,16 +2,26 @@
 
 Applies a set of patterns to all operations nested under a root until a
 fixed point is reached, mirroring MLIR's
-``applyPatternsAndFoldGreedily``. Newly created and modified operations
-are re-enqueued via the rewriter's listener mechanism.
+``applyPatternsAndFoldGreedily``. The driver is worklist-based: a
+single initial walk seeds a deduplicating worklist, and rewrites push
+only the operations they inserted, modified or exposed — the payload
+tree is never re-walked. Trivially dead pure ops are folded away when
+they are popped, exactly like MLIR's driver, so erasures cascade along
+def-use chains instead of triggering whole-tree sweeps.
+
+Patterns are bucketed by root op name and benefit-sorted **once** via
+:class:`FrozenPatternSet`; pass a pre-frozen set when the same patterns
+drive many roots (the ``canonicalize`` pass and
+``transform.apply_patterns`` do).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Union
 
-from ..ir.core import Operation, Pure, Value
+from ..ir.core import Operation, Pure
 from .pattern import PatternRewriter, RewriteListener, RewritePattern
 
 
@@ -19,111 +29,247 @@ from .pattern import PatternRewriter, RewriteListener, RewritePattern
 class GreedyRewriteConfig:
     """Bounds for the fixpoint iteration."""
 
+    #: Retained for API compatibility with the pre-worklist driver; the
+    #: worklist driver converges in a single pass by construction.
     max_iterations: int = 10
     #: Hard cap on individual rewrites, guarding against ping-ponging
     #: pattern pairs.
     max_rewrites: int = 100_000
 
 
-class _WorklistListener(RewriteListener):
-    """Feeds newly inserted/modified ops back into the driver worklist."""
+class FrozenPatternSet:
+    """Patterns bucketed by root op name, benefit-sorted up front.
+
+    Merging the per-name bucket with the generic (``root_name=None``)
+    patterns happens once per distinct op name and is cached — the
+    driver's per-op lookup is a dict probe, not a sort.
+    """
+
+    def __init__(self, patterns: Sequence[RewritePattern]):
+        self._specific: Dict[str, List[RewritePattern]] = {}
+        self._generic: List[RewritePattern] = []
+        for pat in patterns:
+            if pat.root_name is None:
+                self._generic.append(pat)
+            else:
+                self._specific.setdefault(pat.root_name, []).append(pat)
+        # Stable sorts keep specific patterns ahead of generic ones on
+        # benefit ties, matching the previous driver's ordering.
+        self._generic.sort(key=lambda p: -p.benefit)
+        for bucket in self._specific.values():
+            bucket.sort(key=lambda p: -p.benefit)
+        self._merged: Dict[str, List[RewritePattern]] = {}
+
+    def for_op_name(self, name: str) -> List[RewritePattern]:
+        merged = self._merged.get(name)
+        if merged is None:
+            specific = self._specific.get(name)
+            if not specific:
+                merged = self._generic
+            else:
+                merged = sorted(
+                    [*specific, *self._generic], key=lambda p: -p.benefit
+                )
+            self._merged[name] = merged
+        return merged
+
+
+class _Worklist:
+    """LIFO worklist with O(1) dedup.
+
+    Membership is keyed by ``id``; that is safe because the stack holds
+    a strong reference to every member, so an id cannot be recycled
+    while it is still in the membership set.
+    """
+
+    __slots__ = ("_stack", "_members")
 
     def __init__(self) -> None:
-        self.pending: List[Operation] = []
-        self.erased: set = set()
+        self._stack: List[Operation] = []
+        self._members: Set[int] = set()
+
+    def push(self, op: Operation) -> bool:
+        if id(op) in self._members:
+            return False
+        self._members.add(id(op))
+        self._stack.append(op)
+        return True
+
+    def pop(self) -> Operation:
+        op = self._stack.pop()
+        self._members.discard(id(op))
+        return op
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __bool__(self) -> bool:
+        return bool(self._stack)
+
+
+class _WorklistListener(RewriteListener):
+    """Feeds the driver worklist from the rewriter's event stream."""
+
+    def __init__(self, worklist: _Worklist, profiler=None) -> None:
+        self.worklist = worklist
+        self.profiler = profiler
+        #: Erased ops, held by strong reference: keeping the objects
+        #: alive guarantees their ids are never recycled onto fresh
+        #: ops, which a bare id() set silently skipped under GC.
+        self.erased: Set[Operation] = set()
+
+    def _push(self, op: Operation) -> None:
+        if op in self.erased:
+            return
+        if self.worklist.push(op) and self.profiler is not None:
+            self.profiler.record_worklist_push(len(self.worklist))
 
     def notify_op_inserted(self, op: Operation) -> None:
-        self.pending.append(op)
+        # Region-carrying ops may arrive with pre-built bodies whose
+        # nested ops never produce their own insertion events.
+        for nested in op.walk():
+            self._push(nested)
 
     def notify_op_modified(self, op: Operation) -> None:
-        self.pending.append(op)
+        self._push(op)
+
+    def notify_op_replaced(self, op: Operation, new_values) -> None:
+        # The users of the old results are about to have their operands
+        # repointed — they are modified ops in all but name.
+        for result in op.results:
+            for user in result.users:
+                self._push(user)
 
     def notify_op_erased(self, op: Operation) -> None:
-        self.erased.add(id(op))
+        self.erased.add(op)
+        # Erasing a use may leave the defining ops trivially dead.
+        for operand in op.operands:
+            defining = operand.defining_op()
+            if defining is not None:
+                self._push(defining)
+
+
+def _is_attached(op: Operation, root: Operation) -> bool:
+    """True while ``op`` is still in the tree under ``root``."""
+    node: Optional[Operation] = op
+    while node is not None:
+        if node is root:
+            return True
+        node = node.parent_op
+    return False
+
+
+def _is_trivially_dead(op: Operation) -> bool:
+    if Pure not in type(op).TRAITS or not op.results:
+        return False
+    for result in op.results:
+        if result._uses:
+            return False
+    return True
 
 
 def apply_patterns_greedily(
     root: Operation,
-    patterns: Sequence[RewritePattern],
+    patterns: Union[Sequence[RewritePattern], FrozenPatternSet],
     config: Optional[GreedyRewriteConfig] = None,
     extra_listeners: Sequence[RewriteListener] = (),
+    profiler=None,
 ) -> bool:
     """Apply ``patterns`` under ``root`` until fixpoint.
 
     Returns True when the IR changed. The root op itself is not matched
-    (it anchors the traversal), matching MLIR's driver.
+    (it anchors the traversal), matching MLIR's driver. ``patterns``
+    may be a plain sequence or a pre-built :class:`FrozenPatternSet`;
+    ``profiler`` (a :class:`repro.profiling.Profiler`) records
+    per-pattern timing and worklist traffic when given.
     """
     config = config or GreedyRewriteConfig()
-    by_name: Dict[Optional[str], List[RewritePattern]] = {}
-    for pat in patterns:
-        by_name.setdefault(pat.root_name, []).append(pat)
-    for bucket in by_name.values():
-        bucket.sort(key=lambda p: -p.benefit)
-    generic = by_name.get(None, [])
+    frozen = (
+        patterns if isinstance(patterns, FrozenPatternSet)
+        else FrozenPatternSet(patterns)
+    )
 
-    listener = _WorklistListener()
+    worklist = _Worklist()
+    listener = _WorklistListener(worklist, profiler)
     rewriter = PatternRewriter([listener, *extra_listeners])
+    if profiler is not None:
+        profiler.record_driver_run()
+
+    # Single seeding walk, pushed in pre-order: the LIFO pops bottom-up,
+    # so uses are visited before their defs and dead chains fold fast.
+    for op in root.walk():
+        if op is not root:
+            worklist.push(op)
+    if profiler is not None:
+        profiler.record_worklist_seed(len(worklist))
 
     changed_any = False
     rewrites = 0
-    for _ in range(config.max_iterations):
-        worklist = [op for op in root.walk() if op is not root]
-        listener.pending = []
-        changed_this_round = False
-        index = 0
-        while index < len(worklist):
-            op = worklist[index]
-            index += 1
-            if id(op) in listener.erased or op.parent is None:
-                continue
-            candidates = by_name.get(op.name, [])
-            applicable = sorted(
-                [*candidates, *generic], key=lambda p: -p.benefit
-            )
-            for pat in applicable:
-                rewriter.set_insertion_point_before(op)
-                if pat.match_and_rewrite(op, rewriter):
-                    changed_this_round = True
-                    changed_any = True
-                    rewrites += 1
-                    if rewrites >= config.max_rewrites:
-                        raise RuntimeError(
-                            "greedy rewrite exceeded max_rewrites; "
-                            "likely a ping-ponging pattern pair"
-                        )
-                    break
-            if index >= len(worklist) and listener.pending:
-                fresh = [
-                    p for p in listener.pending
-                    if id(p) not in listener.erased and p.parent is not None
-                ]
-                listener.pending = []
-                worklist.extend(fresh)
-        # Like MLIR's applyPatternsAndFoldGreedily: sweep ops left dead
-        # by the rewrites before deciding whether a fixpoint is reached.
-        if _erase_dead_pure_ops(root, rewriter):
-            changed_this_round = True
+    while worklist:
+        op = worklist.pop()
+        if profiler is not None:
+            profiler.record_worklist_pop()
+        if op in listener.erased or not _is_attached(op, root):
+            continue
+        # Fold trivially dead pure ops on pop (MLIR's driver does the
+        # same); the erase listener re-enqueues the operand definers.
+        if _is_trivially_dead(op):
+            rewriter.erase_op(op)
             changed_any = True
-        if not changed_this_round:
-            break
+            continue
+        # One insertion point per op, not per attempt: a pattern whose
+        # match fails must not have created ops, so the point only
+        # needs repositioning when the popped op changes.
+        rewriter.set_insertion_point_before(op)
+        for pat in frozen.for_op_name(op.name):
+            if profiler is not None:
+                start = time.perf_counter()
+                matched = pat.match_and_rewrite(op, rewriter)
+                profiler.record_pattern(
+                    pat.label, matched, time.perf_counter() - start
+                )
+            else:
+                matched = pat.match_and_rewrite(op, rewriter)
+            if matched:
+                changed_any = True
+                rewrites += 1
+                if rewrites >= config.max_rewrites:
+                    raise RuntimeError(
+                        "greedy rewrite exceeded max_rewrites; "
+                        "likely a ping-ponging pattern pair"
+                    )
+                break
     return changed_any
 
 
-def _erase_dead_pure_ops(root: Operation,
-                         rewriter: PatternRewriter) -> bool:
+def _erase_dead_pure_ops(
+    root: Operation,
+    rewriter: PatternRewriter,
+    seed: Optional[Sequence[Operation]] = ()
+) -> bool:
+    """Erase unused pure ops, chasing def-use chains with a worklist.
+
+    One walk seeds the worklist (or pass ``seed`` to limit the sweep to
+    known candidates); erasing an op re-enqueues its operand definers,
+    so chains of dead ops cost O(erased), not O(tree x chains).
+    """
+    worklist = _Worklist()
+    for op in (seed or root.walk()):
+        if op is not root:
+            worklist.push(op)
     erased_any = False
-    changed = True
-    while changed:
-        changed = False
-        for op in list(root.walk(reverse=True)):
-            if (
-                op is not root
-                and op.parent is not None
-                and op.has_trait(Pure)
-                and op.results
-                and not any(r.has_uses() for r in op.results)
-            ):
-                rewriter.erase_op(op)
-                changed = True
-                erased_any = True
+    while worklist:
+        op = worklist.pop()
+        if op.parent is None or not _is_attached(op, root):
+            continue
+        if op is root or not _is_trivially_dead(op):
+            continue
+        defs = [
+            d for d in (v.defining_op() for v in op.operands)
+            if d is not None
+        ]
+        rewriter.erase_op(op)
+        erased_any = True
+        for defining in defs:
+            worklist.push(defining)
     return erased_any

@@ -46,12 +46,14 @@ def transform_opt(
     entry_point: Optional[str] = None,
     check: bool = False,
     final_allowed: Sequence[str] = ("llvm.*",),
+    profiler=None,
 ) -> str:
     """Apply a textual transform script to a textual payload.
 
     Returns the transformed payload in textual form. With ``check``,
     static script verification and the pipeline condition check run
-    first and abort on errors.
+    first and abort on errors. ``profiler`` (a
+    :class:`repro.profiling.Profiler`) collects the timing report.
     """
     payload = parse(payload_text, "<payload>")
     script = parse(script_text, "<script>")
@@ -71,17 +73,18 @@ def transform_opt(
                 "static pipeline check failed:\n" + report.render()
             )
 
-    result = TransformInterpreter().apply(script, payload, entry_point)
+    interpreter = TransformInterpreter(profiler=profiler)
+    result = interpreter.apply(script, payload, entry_point)
     if result.is_silenceable:
         print(f"warning: {result}", file=sys.stderr)
     payload.verify()
     return print_op(payload)
 
 
-def pipeline_opt(payload_text: str, pipeline: str) -> str:
+def pipeline_opt(payload_text: str, pipeline: str, profiler=None) -> str:
     """Run a textual pass pipeline over a textual payload (mlir-opt)."""
     payload = parse(payload_text, "<payload>")
-    parse_pipeline(pipeline).run(payload)
+    parse_pipeline(pipeline).run(payload, profiler=profiler)
     payload.verify()
     return print_op(payload)
 
@@ -100,6 +103,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="named sequence to run")
     parser.add_argument("--check", action="store_true",
                         help="run static checks before interpreting")
+    parser.add_argument("--timing", action="store_true",
+                        help="print a -mlir-timing-style report to stderr")
     parser.add_argument("-o", "--output", default="-",
                         help="output file ('-' = stdout)")
     args = parser.parse_args(argv)
@@ -108,17 +113,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stdin.read() if args.payload == "-"
         else open(args.payload).read()
     )
+    profiler = None
+    if args.timing:
+        from .profiling import Profiler
+
+        profiler = Profiler()
     try:
         if args.script is not None:
             script_text = open(args.script).read()
             output = transform_opt(
-                payload_text, script_text, args.entry_point, args.check
+                payload_text, script_text, args.entry_point, args.check,
+                profiler=profiler,
             )
         else:
-            output = pipeline_opt(payload_text, args.pipeline)
+            output = pipeline_opt(payload_text, args.pipeline,
+                                  profiler=profiler)
     except ToolError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if profiler is not None:
+        print(profiler.render(), file=sys.stderr)
     if args.output == "-":
         print(output)
     else:

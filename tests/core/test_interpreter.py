@@ -95,6 +95,75 @@ class TestErrors:
         assert interp.stats.handles_invalidated == 1
         assert interp.stats.wall_seconds > 0
 
+    def test_failed_apply_not_counted_in_stats(self):
+        """Regression (PR 1): a transform whose apply() fails must not
+        count as executed nor claim its result handles as created."""
+        from repro.core.types import ANY_OP
+
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        transform.match_op(builder, root, "scf.for", position="first")
+        builder.create("transform.test.emit_silenceable",
+                       attributes={"message": "soft"},
+                       result_types=[ANY_OP])
+        transform.yield_(builder)
+        interp = TransformInterpreter()
+        result = interp.apply(script, payload)
+        assert result.is_silenceable
+        # Only the successful match_op counts; neither the failing op
+        # nor the (silenceably failed) enclosing sequence do.
+        assert interp.stats.transforms_executed == 1
+        assert interp.stats.handles_created == 1
+
+    def test_invalidation_stat_counts_aliases(self):
+        """Regression (PR 1): consuming one operand used to bump the
+        stat by exactly 1; it must count every handle actually killed,
+        aliases included."""
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        # All memref.load ops live inside the outermost loop, so this
+        # handle aliases the loop handle.
+        transform.match_op(builder, root, "memref.load")
+        transform.loop_unroll(builder, loop, full=True)
+        transform.yield_(builder)
+        interp = TransformInterpreter()
+        interp.apply(script, payload)
+        # The consumed loop handle + the nested-alias load handle.
+        assert interp.stats.handles_invalidated == 2
+
+    def test_nested_sequence_not_mistaken_for_entry(self):
+        """Regression (PR 1): entry discovery must only consider
+        top-level ops. A transform.sequence nested inside a
+        named_sequence body is a step of that entry, not the entry —
+        the old walk()-based scan picked it and skipped the rest of
+        the enclosing body."""
+        payload = build_matmul_module(2, 2, 2)
+        script = Operation.create("builtin.module", regions=1)
+        script.regions[0].add_block()
+        seq, builder, args = transform.named_sequence("__transform_main")
+        script.regions[0].entry_block.append(seq)
+        transform.print_(builder, args[0], "from-main")
+        nested, nested_builder, _nested_root = transform.sequence()
+        transform.print_(nested_builder, _nested_root, "from-nested")
+        transform.yield_(nested_builder)
+        builder.insert(nested)
+        transform.yield_(builder)
+
+        interp = TransformInterpreter()
+        result = interp.apply(script, payload)
+        assert result.succeeded
+        # The named sequence ran as the entry (its print fired), and
+        # the nested sequence ran as one of its steps — in that order.
+        assert any("from-main" in line for line in interp.output)
+        assert any("from-nested" in line for line in interp.output)
+        main_at = next(i for i, line in enumerate(interp.output)
+                       if "from-main" in line)
+        nested_at = next(i for i, line in enumerate(interp.output)
+                         if "from-nested" in line)
+        assert main_at < nested_at
+
 
 class TestAlternatives:
     def make_script(self, first_region_fails: bool):

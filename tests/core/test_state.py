@@ -152,6 +152,65 @@ class TestRewriteEvents:
         state.notify_op_replaced(inner, [block.args[0]])
         assert state.get_payload(h) == []
 
+    def test_replace_event_repoints_duplicate_entries(self):
+        """Regression (PR 1): a handle may legitimately map the same op
+        more than once (e.g. via merging). The old index-based repoint
+        walked stale indices after the first substitution, leaving later
+        duplicates pointing at the erased op."""
+        module, _f, loop, inner = build_payload()
+        state = TransformState(module)
+        other = Builder.before(inner).create("test.other")
+        h = handle()
+        state.set_payload(h, [inner, other, inner])
+        replacement = Builder.before(inner).create(
+            "test.replacement", result_types=[INDEX]
+        )
+        state.notify_op_replaced(inner, replacement.results)
+        assert state.get_payload(h) == [replacement, other, replacement]
+
+    def test_erase_event_drops_duplicate_entries(self):
+        module, _f, loop, inner = build_payload()
+        state = TransformState(module)
+        other = Builder.before(inner).create("test.other")
+        h = handle()
+        state.set_payload(h, [inner, other, inner])
+        state.notify_op_erased(inner)
+        assert state.get_payload(h) == [other]
+
+    def test_replace_event_only_touches_mapping_handles(self):
+        """Handles not mapping the replaced op must be left alone (the
+        reverse index makes this O(affected), but correctness first)."""
+        module, f, loop, inner = build_payload()
+        state = TransformState(module)
+        h_inner, h_loop = handle(), handle()
+        state.set_payload(h_inner, [inner])
+        state.set_payload(h_loop, [loop])
+        replacement = Builder.before(inner).create(
+            "test.replacement", result_types=[INDEX]
+        )
+        state.notify_op_replaced(inner, replacement.results)
+        assert state.get_payload(h_loop) == [loop]
+        # And a second replacement chases the repointed index.
+        final = Builder.before(replacement).create(
+            "test.final", result_types=[INDEX]
+        )
+        state.notify_op_replaced(replacement, final.results)
+        assert state.get_payload(h_inner) == [final]
+
+    def test_invalidate_returns_alias_count(self):
+        """invalidate() reports how many handles it newly killed: the
+        consumed handle itself plus every alias."""
+        module, _f, loop, inner = build_payload()
+        state = TransformState(module)
+        loop_handle, inner_handle, alias = handle(), handle(), handle()
+        state.set_payload(loop_handle, [loop])
+        state.set_payload(inner_handle, [inner])
+        state.set_payload(alias, [loop])
+        count = state.invalidate(loop_handle, "consumed")
+        assert count == 3  # consumed + nested alias + direct alias
+        # Re-invalidating already-dead handles reports zero new kills.
+        assert state.invalidate(loop_handle, "consumed again") == 0
+
     def test_pattern_driver_integration(self):
         """Handles survive greedy pattern application (paper §3.1)."""
         from repro.rewrite.greedy import apply_patterns_greedily

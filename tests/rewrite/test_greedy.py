@@ -1,10 +1,19 @@
 """Tests for the greedy pattern rewrite driver."""
 
+import gc
+import weakref
+
 import pytest
 
 from repro.dialects import builtin, func
 from repro.ir import Builder, I32, Operation
-from repro.rewrite.greedy import GreedyRewriteConfig, apply_patterns_greedily
+from repro.rewrite.greedy import (
+    FrozenPatternSet,
+    GreedyRewriteConfig,
+    _Worklist,
+    _WorklistListener,
+    apply_patterns_greedily,
+)
 from repro.rewrite.pattern import pattern
 
 
@@ -115,3 +124,98 @@ class TestGreedyDriver:
         apply_patterns_greedily(module, [a_to_b],
                                 extra_listeners=[recorder])
         assert recorder.replaced.count("test.a") == 2
+
+    def test_accepts_frozen_pattern_set(self):
+        frozen = FrozenPatternSet([a_to_b, b_to_c])
+        module = build_chain(2)
+        assert apply_patterns_greedily(module, frozen)
+        names = [op.name for op in module.walk()]
+        assert names.count("test.c") == 2
+        # The same frozen set drives a second root unchanged.
+        module2 = build_chain(1)
+        assert apply_patterns_greedily(module2, frozen)
+
+
+class TestErasedTracking:
+    def test_erased_set_holds_strong_references(self):
+        """Regression (PR 1): erased ops must be tracked by strong
+        reference. The old driver stored bare ``id()``s; once an erased
+        op was garbage-collected, its id could be recycled onto a
+        brand-new op, which the driver then silently skipped."""
+        listener = _WorklistListener(_Worklist())
+        op = Operation.create("test.x")
+        ref = weakref.ref(op)
+        listener.notify_op_erased(op)
+        del op
+        gc.collect()
+        # While tracked, the op stays alive, so its id cannot be reused.
+        assert ref() is not None
+
+    def test_new_ops_after_erasure_under_gc_pressure(self):
+        """Ops created after an erasure (when the interpreter holds no
+        other references and ids are prone to reuse) must be visited."""
+
+        @pattern("test.a", label="erase-then-create")
+        def erase_then_create(op, rewriter):
+            rewriter.set_insertion_point_before(op)
+            rewriter.erase_op(op)
+            gc.collect()  # maximise the chance of id recycling
+            rewriter.create("test.b")
+            return True
+
+        module = build_chain(4)
+        apply_patterns_greedily(module, [erase_then_create, b_to_c])
+        names = [op.name for op in module.walk()]
+        assert names.count("test.c") == 4
+        assert "test.a" not in names
+        assert "test.b" not in names
+
+
+class TestDeadCodeSweep:
+    def build_dead_chain(self, n=4):
+        """test.pure ops chained through operands, final result unused."""
+        from repro.ir.core import OP_REGISTRY, Pure
+
+        class PureOp(Operation):
+            NAME = "test.pure"
+            TRAITS = frozenset({Pure})
+
+        OP_REGISTRY.setdefault("test.pure", PureOp)
+        module = builtin.module()
+        f = func.func("f", [])
+        module.body.append(f)
+        builder = Builder.at_end(f.body)
+        value = None
+        for _ in range(n):
+            operands = [value] if value is not None else []
+            value = builder.create(
+                "test.pure", operands=operands, result_types=[I32]
+            ).result
+        func.return_(builder)
+        return module
+
+    def test_dead_chain_erased_without_patterns(self):
+        """The driver folds whole dead chains via the worklist: erasing
+        the unused tail re-enqueues its defs until the chain is gone."""
+        module = self.build_dead_chain(5)
+        changed = apply_patterns_greedily(module, [])
+        assert changed
+        assert not any(op.name == "test.pure" for op in module.walk())
+
+    def test_ops_made_dead_by_rewrites_are_swept(self):
+        """A rewrite that drops the last use must cascade into DCE."""
+
+        @pattern("test.user", label="erase-user")
+        def erase_user(op, rewriter):
+            rewriter.erase_op(op)
+            return True
+
+        module = self.build_dead_chain(3)
+        f = next(op for op in module.walk() if op.name == "func.func")
+        chain_result = [
+            op for op in module.walk() if op.name == "test.pure"
+        ][-1].results[0]
+        builder = Builder.before(f.body.ops[-1])
+        builder.create("test.user", operands=[chain_result])
+        assert apply_patterns_greedily(module, [erase_user])
+        assert not any(op.name == "test.pure" for op in module.walk())
