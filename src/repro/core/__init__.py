@@ -55,7 +55,8 @@ from .script_transforms import (
     infer_ad_dialects,
     simplify_script,
 )
-from .state import HandleInvalidatedError, TransformState
+from .state import HandleInvalidatedError, StateSnapshot, TransformState
+from .transaction import PayloadTransaction, TransactionError
 from .static_checker import (
     IssueKind,
     PipelineIssue,

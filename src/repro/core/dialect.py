@@ -270,6 +270,14 @@ class ForeachOp(TransformOp):
 class AlternativesOp(TransformOp):
     """Try each region in turn; silenceable failures select the next one.
 
+    Each attempt runs inside a :class:`~repro.core.transaction.
+    PayloadTransaction` over the scope (the single payload op of the
+    optional operand handle, else the payload root): a silenceable
+    failure rolls payload IR *and* handle state back to the
+    pre-alternatives checkpoint before the next region runs (§3.4,
+    Fig. 8). On success the op's results are mapped from the winning
+    region's ``transform.yield`` operands.
+
     An empty region is an always-succeeding no-op alternative — the
     "leave the code unchanged" fallback of Fig. 8.
     """
@@ -277,21 +285,68 @@ class AlternativesOp(TransformOp):
     NAME = "transform.alternatives"
 
     def apply(self, interpreter, state: TransformState) -> TransformResult:
+        from .transaction import PayloadTransaction
+
+        scope = state.payload_root
+        if self.num_operands:
+            payload = state.get_payload(self.operand(0))
+            if len(payload) != 1:
+                return self.definite(
+                    "alternatives scope handle must map to exactly one "
+                    f"payload op, got {len(payload)}"
+                )
+            scope = payload[0]
         last: Optional[TransformResult] = None
         for region in self.regions:
             if not region.blocks or not region.blocks[0].ops:
+                # Empty fallback: leave the code unchanged; results map
+                # to nothing (there is no yield to take them from).
+                for result_value in self.results:
+                    state.set_payload(result_value, [])
                 return TransformResult.success()
-            result = interpreter.run_block(region.blocks[0], state)
+            block = region.blocks[0]
+            transaction = PayloadTransaction(state, scope)
+            if block.args:
+                state.set_payload(block.args[0], [scope])
+            result = interpreter.run_block(block, state)
             if result.succeeded:
-                return result
+                transaction.commit()
+                return self._map_results(block, state)
             if result.is_definite:
+                # Definite errors abort interpretation; the payload is
+                # left as-is for post-mortem debugging (as in MLIR).
+                transaction.commit()
                 return result
+            transaction.rollback()
             last = result  # silenceable: suppressed, try next region
         if last is None:
             return TransformResult.success()
         return self.silenceable(
             f"all alternatives failed; last error: {last.message}"
         )
+
+    def _map_results(self, block: Block,
+                     state: TransformState) -> TransformResult:
+        """Populate the op's results from the region's yield operands."""
+        if not self.results:
+            return TransformResult.success()
+        terminator = block.terminator
+        yielded = (
+            list(terminator.operands)
+            if terminator is not None and terminator.name == "transform.yield"
+            else []
+        )
+        if len(yielded) != len(self.results):
+            return self.definite(
+                f"succeeding alternative yields {len(yielded)} values "
+                f"but the op has {len(self.results)} results"
+            )
+        for out, value in zip(self.results, yielded):
+            if isinstance(out.type, ParamType):
+                state.set_param(out, state.get_param(value))
+            else:
+                state.set_payload(out, state.get_payload(value))
+        return TransformResult.success()
 
 
 # ---------------------------------------------------------------------------
@@ -305,6 +360,9 @@ class MatchOp(TransformOp):
 
     NAME = "transform.match_op"
 
+    #: Recognized values of the ``position`` attribute.
+    POSITIONS = ("all", "first", "second", "last")
+
     def apply(self, interpreter, state: TransformState) -> TransformResult:
         scope = state.get_payload(self.operand(0))
         names_attr = self.attr("names")
@@ -312,6 +370,11 @@ class MatchOp(TransformOp):
         if isinstance(wanted, str):
             wanted = [wanted]
         position = self._str_attr("position", "all")
+        if position not in self.POSITIONS:
+            return self.definite(
+                f"unknown position {position!r}; expected one of "
+                + ", ".join(repr(p) for p in self.POSITIONS)
+            )
 
         matched: List[Operation] = []
         for root in scope:
@@ -493,6 +556,36 @@ def _resolve_sizes(op: TransformOp, state: TransformState,
     return op._int_list_attr(attr_name)
 
 
+def _destroyed_mid_iteration(op: TransformOp, state: TransformState,
+                             payload_op: Operation
+                             ) -> Optional[TransformResult]:
+    """Guard against handles whose payload ops destroy each other.
+
+    A handle may map several loops of one nest (e.g. ``match_op
+    "scf.for"`` with position ``all``); transforming the outer loop
+    destroys the inner ones, so by the time the iteration reaches them
+    they are no longer part of the payload tree (erasing the outer op
+    detaches only the outer op itself — nested ops keep stale parent
+    pointers into the dead block, so the check must walk up to the
+    payload root). Touching such an op used to crash with an
+    ``IndexError`` deep inside the loop utilities (fuzzer-found); it is
+    a failed precondition of the transform — the payload is still valid
+    IR — so report it silenceably.
+    """
+    root = state.payload_root
+    current: Optional[Operation] = payload_op
+    while current is not None:
+        if current is root:
+            return None
+        block = current.parent
+        region = block.parent if block is not None else None
+        current = region.parent if region is not None else None
+    return op.silenceable(
+        f"payload op '{payload_op.name}' was destroyed while "
+        "processing an earlier payload op of the same handle"
+    )
+
+
 # ---------------------------------------------------------------------------
 # Loop transforms
 # ---------------------------------------------------------------------------
@@ -519,6 +612,9 @@ class LoopTileOp(TransformOp):
         outer_band: List[Operation] = []
         inner_band: List[Operation] = []
         for loop in payload:
+            failure = _destroyed_mid_iteration(self, state, loop)
+            if failure is not None:
+                return failure
             try:
                 if len(sizes) == 1:
                     outer, inner = tile_loop(loop, sizes[0])
@@ -554,6 +650,9 @@ class LoopSplitOp(TransformOp):
         mains: List[Operation] = []
         rests: List[Operation] = []
         for loop in payload:
+            failure = _destroyed_mid_iteration(self, state, loop)
+            if failure is not None:
+                return failure
             try:
                 main, rest = split_loop(loop, sizes[0])
             except LoopTransformError as error:
@@ -582,6 +681,9 @@ class LoopUnrollOp(TransformOp):
         if factor == 1 and not full:
             return TransformResult.success()  # no-op (§3.4)
         for loop in payload:
+            failure = _destroyed_mid_iteration(self, state, loop)
+            if failure is not None:
+                return failure
             try:
                 unroll_loop(loop, factor=factor, full=full)
             except LoopTransformError as error:
@@ -678,6 +780,9 @@ class LoopPeelOp(TransformOp):
         mains: List[Operation] = []
         rests: List[Operation] = []
         for loop in payload:
+            failure = _destroyed_mid_iteration(self, state, loop)
+            if failure is not None:
+                return failure
             try:
                 main, rest = peel_loop(loop)
             except LoopTransformError as error:
@@ -705,6 +810,9 @@ class StructuredGeneralizeOp(TransformOp):
     def apply(self, interpreter, state: TransformState) -> TransformResult:
         generalized: List[Operation] = []
         for payload_op in state.get_payload(self.operand(0)):
+            failure = _destroyed_mid_iteration(self, state, payload_op)
+            if failure is not None:
+                return failure
             try:
                 generalized.append(generalize_named_op(payload_op))
             except LoopTransformError as error:
@@ -725,6 +833,9 @@ class StructuredLowerToLoopsOp(TransformOp):
     def apply(self, interpreter, state: TransformState) -> TransformResult:
         roots: List[Operation] = []
         for payload_op in state.get_payload(self.operand(0)):
+            failure = _destroyed_mid_iteration(self, state, payload_op)
+            if failure is not None:
+                return failure
             try:
                 loops = lower_linalg_to_loops(payload_op)
             except LoopTransformError as error:
@@ -750,6 +861,9 @@ class ToLibraryOp(TransformOp):
             return self.definite(f"unknown library {library_name!r}")
         calls: List[Operation] = []
         for loop in state.get_payload(self.operand(0)):
+            failure = _destroyed_mid_iteration(self, state, loop)
+            if failure is not None:
+                return failure
             try:
                 calls.append(replace_with_library_call(loop, library))
             except LoopTransformError as error:
@@ -818,7 +932,11 @@ class ApplyPatternsOp(TransformOp):
         return names
 
     def apply(self, interpreter, state: TransformState) -> TransformResult:
-        from ..rewrite.greedy import FrozenPatternSet, apply_patterns_greedily
+        from ..rewrite.greedy import (
+            FrozenPatternSet,
+            GreedyRewriteConfig,
+            apply_patterns_greedily,
+        )
 
         patterns: List[RewritePattern] = []
         for name in self.pattern_names():
@@ -827,9 +945,15 @@ class ApplyPatternsOp(TransformOp):
                 return self.definite(f"unknown pattern {name!r}")
             patterns.append(factory())
         frozen = FrozenPatternSet(patterns)
+        # Thread the interpreter's strict mode into the driver so a
+        # crashing pattern either surfaces raw (strict) or is wrapped
+        # and then contained by the interpreter's exception barrier.
+        config = GreedyRewriteConfig(
+            strict=getattr(interpreter, "strict", False)
+        )
         for payload_op in state.get_payload(self.operand(0)):
             apply_patterns_greedily(
-                payload_op, frozen, extra_listeners=[state],
+                payload_op, frozen, config=config, extra_listeners=[state],
                 profiler=getattr(interpreter, "profiler", None),
             )
         return TransformResult.success()
@@ -1108,8 +1232,15 @@ def to_library(builder: Builder, nest: Value,
     )
 
 
-def alternatives(builder: Builder, n_regions: int = 2) -> Operation:
-    op = builder.create("transform.alternatives", regions=n_regions)
+def alternatives(builder: Builder, n_regions: int = 2,
+                 scope: Optional[Value] = None,
+                 n_results: int = 0) -> Operation:
+    op = builder.create(
+        "transform.alternatives",
+        operands=[scope] if scope is not None else [],
+        result_types=[ANY_OP] * n_results,
+        regions=n_regions,
+    )
     for region in op.regions:
         region.add_block()
     return op

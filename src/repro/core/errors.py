@@ -5,6 +5,13 @@ payload has not been modified irreversibly — recoverable by
 ``transform.alternatives``) or a *definite* error (immediately aborts
 interpretation). :class:`TransformResult` mirrors MLIR's
 ``DiagnosedSilenceableFailure``.
+
+Failures carry the failing transform op's :class:`Location` and, once
+observed by the interpreter, a *transform-stack backtrace*: the chain of
+enclosing sequence/alternatives/foreach ops active when the failure was
+produced. Python exceptions escaping a transform's ``apply`` are
+converted into definite failures at the interpreter's exception barrier
+and keep the original exception in :attr:`TransformResult.cause`.
 """
 
 from __future__ import annotations
@@ -14,12 +21,19 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..ir.core import Operation
+from ..ir.location import Location, UNKNOWN_LOC, UnknownLoc
 
 
 class FailureKind(enum.Enum):
     SUCCESS = "success"
     SILENCEABLE = "silenceable"
     DEFINITE = "definite"
+
+
+def _location_of(op: Optional[Operation]) -> Location:
+    if op is not None and op.location is not None:
+        return op.location
+    return UNKNOWN_LOC
 
 
 @dataclass
@@ -32,6 +46,14 @@ class TransformResult:
     transform_op: Optional[Operation] = None
     #: Payload ops involved in the failure, if any.
     payload_ops: List[Operation] = field(default_factory=list)
+    #: Location of the failing transform op (clickable diagnostics).
+    location: Location = UNKNOWN_LOC
+    #: Enclosing transform ops (outermost first) at the failure point;
+    #: filled in by the interpreter when the failure is first observed.
+    backtrace: List[Operation] = field(default_factory=list)
+    #: Original Python exception for failures produced by the
+    #: interpreter's exception barrier (None for ordinary failures).
+    cause: Optional[BaseException] = None
 
     @staticmethod
     def success() -> "TransformResult":
@@ -44,14 +66,18 @@ class TransformResult:
                     ) -> "TransformResult":
         return TransformResult(
             FailureKind.SILENCEABLE, message, transform_op,
-            payload_ops or [],
+            payload_ops or [], _location_of(transform_op),
         )
 
     @staticmethod
     def definite(message: str,
-                 transform_op: Optional[Operation] = None
+                 transform_op: Optional[Operation] = None,
+                 cause: Optional[BaseException] = None
                  ) -> "TransformResult":
-        return TransformResult(FailureKind.DEFINITE, message, transform_op)
+        return TransformResult(
+            FailureKind.DEFINITE, message, transform_op, [],
+            _location_of(transform_op), cause=cause,
+        )
 
     @property
     def succeeded(self) -> bool:
@@ -65,6 +91,13 @@ class TransformResult:
     def is_definite(self) -> bool:
         return self.kind is FailureKind.DEFINITE
 
+    def backtrace_lines(self) -> List[str]:
+        """Human-readable backtrace, innermost frame first."""
+        lines = []
+        for frame in reversed(self.backtrace):
+            lines.append(f"while executing '{frame.name}' at {frame.location}")
+        return lines
+
     def __str__(self) -> str:
         if self.succeeded:
             return "success"
@@ -73,12 +106,28 @@ class TransformResult:
             if self.transform_op is not None
             else ""
         )
-        return f"{self.kind.value} error: {self.message}{origin}"
+        where = ""
+        if not isinstance(self.location, UnknownLoc):
+            where = f" {self.location}"
+        return f"{self.kind.value} error: {self.message}{origin}{where}"
 
 
 class TransformInterpreterError(Exception):
-    """Raised when interpretation aborts with a definite error."""
+    """Raised when interpretation aborts with a definite error.
 
-    def __init__(self, result: TransformResult):
-        super().__init__(str(result))
+    ``diagnostic`` (when present) is the MLIR-style rendering produced
+    by the interpreter's :class:`~repro.ir.diagnostics.DiagnosticEngine`
+    routing — ``error: ... note: while executing ...`` with locations.
+    """
+
+    def __init__(self, result: TransformResult, diagnostic=None):
         self.result = result
+        self.diagnostic = diagnostic
+        if diagnostic is not None:
+            message = str(diagnostic)
+        else:
+            message = str(result)
+            trace = result.backtrace_lines()
+            if trace:
+                message += "\n" + "\n".join(f"  note: {t}" for t in trace)
+        super().__init__(message)

@@ -6,20 +6,31 @@ each transform op's ``apply`` and processing handle consumption. Errors
 follow the paper's model: *silenceable* errors skip the remainder of the
 current region and bubble to the parent (which may suppress them, as
 ``alternatives`` does); *definite* errors abort interpretation.
+
+Two robustness layers sit around ``apply`` dispatch:
+
+* an **exception barrier**: arbitrary Python exceptions escaping a
+  transform's ``apply`` (or a pattern rewrite under
+  ``transform.apply_patterns``) become *definite* failures carrying the
+  transform-stack backtrace — the chain of enclosing
+  sequence/alternatives/foreach ops — instead of crashing the process.
+  Construct the interpreter with ``strict=True`` to re-raise the raw
+  exception at the crash site for debugging;
+* **diagnostic routing**: every interpretation failure is emitted to a
+  :class:`~repro.ir.diagnostics.DiagnosticEngine` as an MLIR-style
+  ``error: ... note: while executing ...`` diagnostic with payload and
+  transform :class:`~repro.ir.location.Location`\\ s attached.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..ir.core import Block, Operation
-from .errors import (
-    FailureKind,
-    TransformInterpreterError,
-    TransformResult,
-)
+from ..ir.diagnostics import Diagnostic, DiagnosticEngine, Severity
+from .errors import TransformInterpreterError, TransformResult
 from .state import HandleInvalidatedError, TransformState
 
 
@@ -30,11 +41,14 @@ class InterpreterStats:
     ``transforms_executed`` and ``handles_created`` count *successful*
     transform applications only; ``handles_invalidated`` counts every
     handle actually invalidated by consumption, aliases included.
+    ``exceptions_contained`` counts Python exceptions the barrier
+    converted into definite failures.
     """
 
     transforms_executed: int = 0
     handles_created: int = 0
     handles_invalidated: int = 0
+    exceptions_contained: int = 0
     wall_seconds: float = 0.0
 
 
@@ -43,15 +57,26 @@ class TransformInterpreter:
 
     def __init__(self, check_types: bool = True,
                  track_invalidation: bool = True,
-                 profiler=None):
+                 profiler=None,
+                 strict: bool = False,
+                 diagnostics: Optional[DiagnosticEngine] = None):
         self.check_types = check_types
         #: Ablation knob: disable nested-alias invalidation tracking.
         self.track_invalidation = track_invalidation
         #: Optional :class:`repro.profiling.Profiler` recording
         #: per-transform-op timing and invalidation fan-out.
         self.profiler = profiler
+        #: Debugging escape hatch: re-raise exceptions from ``apply``
+        #: instead of converting them into definite failures.
+        self.strict = strict
+        #: Collects MLIR-style diagnostics for every failure.
+        self.diagnostics = diagnostics or DiagnosticEngine()
         self.output: List[str] = []
         self.stats = InterpreterStats()
+        #: Enclosing transform ops, outermost first (the op currently
+        #: being applied is the last entry). Failures snapshot this as
+        #: their backtrace.
+        self._stack: List[Operation] = []
 
     # -- entry points --------------------------------------------------------
 
@@ -66,23 +91,32 @@ class TransformInterpreter:
         state = TransformState(payload)
         entry = self._find_entry(script, entry_point)
         if entry is None:
+            result = TransformResult.definite(
+                "no transform entry point found in script"
+            )
             raise TransformInterpreterError(
-                TransformResult.definite(
-                    "no transform entry point found in script"
-                )
+                result, self._diagnose(result, Severity.ERROR)
             )
         try:
             if entry.name == "transform.named_sequence":
                 body = entry.regions[0].entry_block
                 if body.args:
                     state.set_payload(body.args[0], [payload])
-                result = self.run_block(body, state)
+                self._stack.append(entry)
+                try:
+                    result = self.run_block(body, state)
+                finally:
+                    self._stack.pop()
             else:
                 result = self.execute(entry, state)
         finally:
             self.stats.wall_seconds += time.perf_counter() - start
         if result.is_definite:
-            raise TransformInterpreterError(result)
+            raise TransformInterpreterError(
+                result, self._diagnose(result, Severity.ERROR)
+            )
+        if result.is_silenceable:
+            self._diagnose(result, Severity.WARNING)
         return result
 
     def _find_entry(self, script: Operation,
@@ -114,6 +148,32 @@ class TransformInterpreter:
             return sequences[0]
         return named[0] if named else None
 
+    # -- diagnostics ---------------------------------------------------------
+
+    def _diagnose(self, result: TransformResult,
+                  severity: Severity) -> Diagnostic:
+        """Render ``result`` as an MLIR-style diagnostic and record it."""
+        diagnostic = Diagnostic(severity, result.message, result.location)
+        if result.cause is not None:
+            diagnostic.attach_note(
+                f"contained Python exception: "
+                f"{type(result.cause).__name__}: {result.cause}",
+                result.location,
+            )
+        for payload_op in result.payload_ops:
+            diagnostic.attach_note(
+                f"on payload op '{payload_op.name}'", payload_op.location
+            )
+        failing = result.transform_op
+        for frame in reversed(result.backtrace):
+            if frame is failing:
+                continue  # the failure's own location heads the message
+            diagnostic.attach_note(
+                f"while executing '{frame.name}'", frame.location
+            )
+        self.diagnostics.emit(diagnostic)
+        return diagnostic
+
     # -- execution ------------------------------------------------------------
 
     def run_block(self, block: Block,
@@ -136,28 +196,45 @@ class TransformInterpreter:
         from .dialect import TransformOp
 
         if not isinstance(op, TransformOp):
-            return TransformResult.definite(
+            result = TransformResult.definite(
                 f"'{op.name}' is not a transform operation", op
             )
+            result.backtrace = [*self._stack, op]
+            return result
         if self.check_types:
             type_error = self._check_operand_types(op, state)
             if type_error is not None:
+                type_error.backtrace = [*self._stack, op]
                 return type_error
-        if self.profiler is not None:
-            start = time.perf_counter()
-            try:
-                result = op.apply(self, state)
-            except HandleInvalidatedError as error:
-                return TransformResult.definite(str(error), op)
-            finally:
+        self._stack.append(op)
+        start = time.perf_counter() if self.profiler is not None else 0.0
+        try:
+            result = op.apply(self, state)
+        except HandleInvalidatedError as error:
+            result = TransformResult.definite(str(error), op)
+        except TransformInterpreterError:
+            # A nested interpreter invocation already diagnosed and
+            # raised; never double-wrap its failure.
+            raise
+        except Exception as error:  # the exception barrier
+            if self.strict:
+                raise
+            self.stats.exceptions_contained += 1
+            result = TransformResult.definite(
+                f"uncaught {type(error).__name__} in '{op.name}': {error}",
+                op, cause=error,
+            )
+        finally:
+            self._stack.pop()
+            if self.profiler is not None:
                 self.profiler.record_transform(
                     op.name, time.perf_counter() - start
                 )
-        else:
-            try:
-                result = op.apply(self, state)
-            except HandleInvalidatedError as error:
-                return TransformResult.definite(str(error), op)
+        if not result.succeeded and not result.backtrace:
+            # First observation of this failure: snapshot the enclosing
+            # transform chain (innermost handler fires first, so the
+            # stack is still complete).
+            result.backtrace = [*self._stack, op]
         if result.succeeded:
             # Stats count successful applications only: a failed apply
             # executed nothing and mapped no result handles.

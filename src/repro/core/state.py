@@ -20,6 +20,7 @@ only the handles that actually reference the rewritten op.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..ir.core import Operation, Value
@@ -35,6 +36,23 @@ class HandleInvalidatedError(Exception):
     def __init__(self, message: str):
         super().__init__(message)
         self.message = message
+
+
+@dataclass
+class StateSnapshot:
+    """A frozen copy of a :class:`TransformState`'s mapping tables.
+
+    Produced by :meth:`TransformState.checkpoint` and reinstated by
+    :meth:`TransformState.restore`; :class:`repro.core.transaction.
+    PayloadTransaction` pairs one with a payload-IR clone so
+    ``transform.alternatives`` can roll back *both* sides of the
+    handle/payload association (paper §3.4, Fig. 8).
+    """
+
+    ops: Dict[int, List[Operation]] = field(default_factory=dict)
+    params: Dict[int, "ParamValue"] = field(default_factory=dict)
+    values: Dict[int, Value] = field(default_factory=dict)
+    invalidated: Dict[int, str] = field(default_factory=dict)
 
 
 class TransformState(RewriteListener):
@@ -157,6 +175,43 @@ class TransformState(RewriteListener):
                 self._invalidated[other_id] = alias_reason
                 count += 1
         return count
+
+    # -- checkpoint / restore (transactional execution) ----------------------
+
+    def checkpoint(self) -> StateSnapshot:
+        """Copy every mapping table into a :class:`StateSnapshot`.
+
+        The snapshot holds the *current* payload op objects; when the
+        payload itself is rolled back to a clone, pass the clone's
+        op-correspondence map to :meth:`restore` to remap them.
+        """
+        return StateSnapshot(
+            ops={hid: list(ops) for hid, ops in self._ops.items()},
+            params={hid: list(vs) for hid, vs in self._params.items()},
+            values=dict(self._values),
+            invalidated=dict(self._invalidated),
+        )
+
+    def restore(self, snapshot: StateSnapshot,
+                op_map: Optional[Dict[int, Operation]] = None) -> None:
+        """Reinstate ``snapshot``, optionally remapping payload ops.
+
+        ``op_map`` maps ``id(old op) -> replacement op`` (identity for
+        ops absent from the map); the reverse index is rebuilt from
+        scratch so it stays consistent with the remapped lists.
+        """
+        op_map = op_map or {}
+        self._ops = {
+            hid: [op_map.get(id(op), op) for op in ops]
+            for hid, ops in snapshot.ops.items()
+        }
+        self._params = {hid: list(vs) for hid, vs in snapshot.params.items()}
+        self._values = dict(snapshot.values)
+        self._invalidated = dict(snapshot.invalidated)
+        self._op_handles = {}
+        self._indexed_ops = {}
+        for hid, ops in self._ops.items():
+            self._index_add(hid, ops)
 
     # -- rewrite-driver event subscription (paper §3.1) -------------------------
 

@@ -9,6 +9,7 @@ from .pattern import (
 from .greedy import (
     FrozenPatternSet,
     GreedyRewriteConfig,
+    PatternApplicationError,
     apply_patterns_greedily,
 )
 from .conversion import (
@@ -23,6 +24,7 @@ __all__ = [
     "ConversionTarget",
     "FrozenPatternSet",
     "GreedyRewriteConfig",
+    "PatternApplicationError",
     "PatternRewriter",
     "RewriteListener",
     "RewritePattern",

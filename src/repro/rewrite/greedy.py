@@ -35,6 +35,31 @@ class GreedyRewriteConfig:
     #: Hard cap on individual rewrites, guarding against ping-ponging
     #: pattern pairs.
     max_rewrites: int = 100_000
+    #: Debugging escape hatch: re-raise pattern exceptions raw instead
+    #: of wrapping them in :class:`PatternApplicationError`.
+    strict: bool = False
+
+
+class PatternApplicationError(RuntimeError):
+    """A pattern rewrite crashed with an arbitrary Python exception.
+
+    The driver's exception barrier wraps the crash so callers get a
+    structured error naming the pattern and the matched operation
+    instead of a raw traceback deep inside rewrite code; the transform
+    interpreter's own barrier converts it into a *definite* failure
+    with a transform-stack backtrace. The original exception is
+    chained as ``__cause__`` (and kept in :attr:`cause`).
+    """
+
+    def __init__(self, pattern: RewritePattern, op: Operation,
+                 cause: BaseException):
+        super().__init__(
+            f"pattern '{pattern.label}' crashed on '{op.name}' at "
+            f"{op.location}: {type(cause).__name__}: {cause}"
+        )
+        self.pattern = pattern
+        self.op = op
+        self.cause = cause
 
 
 class FrozenPatternSet:
@@ -222,14 +247,20 @@ def apply_patterns_greedily(
         # needs repositioning when the popped op changes.
         rewriter.set_insertion_point_before(op)
         for pat in frozen.for_op_name(op.name):
-            if profiler is not None:
-                start = time.perf_counter()
+            start = time.perf_counter() if profiler is not None else 0.0
+            try:
                 matched = pat.match_and_rewrite(op, rewriter)
+            except Exception as error:  # the driver's exception barrier
+                if config.strict:
+                    raise
+                # A crashed pattern may have left the IR half-rewritten;
+                # continuing to match would be unsound, so surface a
+                # structured error naming the culprit instead.
+                raise PatternApplicationError(pat, op, error) from error
+            if profiler is not None:
                 profiler.record_pattern(
                     pat.label, matched, time.perf_counter() - start
                 )
-            else:
-                matched = pat.match_and_rewrite(op, rewriter)
             if matched:
                 changed_any = True
                 rewrites += 1

@@ -1,0 +1,29 @@
+"""Testing utilities: randomized schedule/payload fuzzing.
+
+:mod:`repro.testing.fuzz` hardens the transform interpreter the way
+MLIR-Smith hardens MLIR: seeded random payload modules and
+random-but-type-correct transform scripts are executed under the
+interpreter's exception barrier, and structural invariants (no uncaught
+exceptions, transactional rollback restores the payload byte-for-byte,
+deterministic failure classification) are asserted for every case.
+
+The submodule is loaded lazily (PEP 562) so ``python -m
+repro.testing.fuzz`` does not import it twice.
+"""
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzReport",
+    "PayloadFuzzer",
+    "ScheduleFuzzer",
+    "run_case",
+    "run_fuzz",
+]
+
+
+def __getattr__(name):
+    if name in __all__:
+        from . import fuzz
+
+        return getattr(fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

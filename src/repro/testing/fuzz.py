@@ -1,0 +1,460 @@
+"""Seeded schedule/payload fuzzing for the transform interpreter.
+
+MLIR-Smith-style hardening (arXiv:2601.02218): every case builds a
+random payload module from the registered dialects and a
+random-but-type-correct transform script, runs the script under the
+interpreter's exception barrier, and asserts the robustness invariants:
+
+* **containment** — interpretation either returns a
+  :class:`~repro.core.errors.TransformResult` or raises a clean
+  :class:`~repro.core.errors.TransformInterpreterError`; any other
+  exception is a harness crash and fails the run;
+* **consistency** — after a non-definite outcome the payload still
+  verifies;
+* **transactional rollback** — a schedule whose first alternative
+  mutates the payload and then fails silenceably must leave the payload
+  print byte-identical to its pre-``alternatives`` state;
+* **stable classification** — regenerating and re-running a case from
+  its seed reproduces the same outcome kind, message and payload print.
+
+Every case is derived from a single ``(seed, index)`` pair, so a CI
+failure is reproducible locally with::
+
+    python -m repro.testing.fuzz --seed N --cases M
+    python -m repro.testing.fuzz --case-seed K   # one failing case
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core import dialect as transform
+from ..core.errors import TransformInterpreterError
+from ..core.interpreter import TransformInterpreter
+from ..dialects import arith, builtin, func, scf
+from ..ir.builder import Builder
+from ..ir.core import Operation, Value
+from ..ir.printer import print_op
+
+#: Payload op names the schedule fuzzer may try to match (a mix of
+#: names the payload generator emits and names it never does, so both
+#: populated and empty matches are exercised).
+MATCHABLE_NAMES = (
+    "scf.for",
+    "arith.constant",
+    "arith.addf",
+    "arith.mulf",
+    "arith.addi",
+    "func.func",
+    "memref.load",  # never generated: exercises empty matches
+)
+
+
+# ---------------------------------------------------------------------------
+# Payload generation
+# ---------------------------------------------------------------------------
+
+
+class PayloadFuzzer:
+    """Builds small random-but-verifying payload modules.
+
+    The shapes mirror the paper's workloads: functions containing
+    nests of ``scf.for`` loops with arithmetic bodies. Loop bounds are
+    random constants so loop transforms (tile/split/unroll/peel) have
+    real trip counts to work with.
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def module(self) -> Operation:
+        module = builtin.module()
+        for index in range(self.rng.randint(1, 2)):
+            function = func.func(f"fuzz_fn{index}", [])
+            module.body.append(function)
+            builder = Builder.at_end(function.body)
+            for _ in range(self.rng.randint(1, 2)):
+                self._item(builder, depth=0)
+            func.return_(builder)
+        module.verify()
+        return module
+
+    def _item(self, builder: Builder, depth: int) -> None:
+        if depth < 3 and self.rng.random() < 0.75:
+            self._loop(builder, depth)
+        else:
+            self._arith_chunk(builder)
+
+    def _loop(self, builder: Builder, depth: int) -> None:
+        lower = arith.index_constant(builder, 0)
+        upper = arith.index_constant(builder, self.rng.choice((2, 3, 4, 6, 8)))
+        step = arith.index_constant(builder, 1)
+        loop = scf.for_(builder, lower, upper, step)
+        body = Builder.at_end(loop.body)
+        for _ in range(self.rng.randint(1, 2)):
+            self._item(body, depth + 1)
+        if self.rng.random() < 0.5:
+            # Index arithmetic on the induction variable.
+            offset = arith.index_constant(body, self.rng.randint(1, 4))
+            arith.addi(body, loop.induction_var, offset)
+        scf.yield_(body)
+
+    def _arith_chunk(self, builder: Builder) -> None:
+        values: List[Value] = [
+            arith.constant(builder, float(self.rng.randint(0, 9)))
+            for _ in range(self.rng.randint(2, 3))
+        ]
+        for _ in range(self.rng.randint(1, 3)):
+            lhs, rhs = self.rng.choice(values), self.rng.choice(values)
+            combine = self.rng.choice((arith.addf, arith.mulf))
+            values.append(combine(builder, lhs, rhs))
+
+
+# ---------------------------------------------------------------------------
+# Schedule generation
+# ---------------------------------------------------------------------------
+
+
+class ScheduleFuzzer:
+    """Builds random transform scripts over the live-handle state.
+
+    Generated scripts are *type-correct* (loop transforms only ever see
+    handles produced by matching ``scf.for``) but intentionally explore
+    the whole failure space: empty matches, consumed-handle reuse,
+    invalid ``position`` values and unconditional silenceable failures
+    all appear with small probability. With ``safe=True`` the generator
+    restricts itself to schedules that can only fail *silenceably* —
+    the requirement for rollback cases, where a definite error would
+    abort instead of restoring.
+    """
+
+    def __init__(self, rng: random.Random, safe: bool = False):
+        self.rng = rng
+        self.safe = safe
+
+    def sequence(self) -> Operation:
+        script, builder, root = transform.sequence()
+        self.fill_block(builder, root, self.rng.randint(2, 6))
+        transform.yield_(builder)
+        return script
+
+    def fill_block(self, builder: Builder, root: Value, n_steps: int,
+                   nesting: int = 0) -> None:
+        #: (handle, payload-op-name-or-None) for live (unconsumed)
+        #: handles; None means the handle may hold anything.
+        loops: List[Value] = []
+        anything: List[Value] = [root]
+        consumed: List[Value] = []
+
+        for _ in range(n_steps):
+            choice = self.rng.random()
+            if choice < 0.35:
+                scope = self.rng.choice(anything)
+                name = self.rng.choice(MATCHABLE_NAMES)
+                position = self.rng.choice(
+                    ("all", "all", "first", "second", "last")
+                )
+                if not self.safe and self.rng.random() < 0.05:
+                    position = "middle"  # invalid: definite error
+                handle = transform.match_op(
+                    builder, scope, name, position=position
+                )
+                (loops if name == "scf.for" else anything).append(handle)
+            elif choice < 0.6 and loops:
+                self._loop_transform(builder, loops, consumed)
+            elif choice < 0.7:
+                target = self.rng.choice(anything + loops)
+                transform.annotate(
+                    builder, target, "fuzz_mark", self.rng.randint(0, 99)
+                )
+            elif choice < 0.78 and len(anything) >= 2:
+                merged = builder.create(
+                    "transform.merge_handles",
+                    operands=self.rng.sample(anything, 2),
+                    result_types=[transform.ANY_OP],
+                ).result
+                anything.append(merged)
+            elif choice < 0.86:
+                target = self.rng.choice(anything + loops)
+                builder.create(
+                    "transform.num_payload_ops",
+                    operands=[target],
+                    result_types=[transform.PARAM_I64],
+                )
+            elif choice < 0.92 and nesting < 2:
+                self._nested_alternatives(builder, root, nesting)
+            elif not self.safe and choice < 0.96 and consumed:
+                # Deliberate use-after-consume: must surface as a clean
+                # definite error, never a crash.
+                transform.annotate(
+                    builder, self.rng.choice(consumed), "after_consume"
+                )
+            else:
+                builder.create(
+                    "transform.test.emit_silenceable",
+                    attributes={"message": "fuzz-silenceable"},
+                )
+
+    def _loop_transform(self, builder: Builder, loops: List[Value],
+                        consumed: List[Value]) -> None:
+        loop = self.rng.choice(loops)
+        kind = self.rng.choice(("tile", "split", "unroll", "peel"))
+        if kind == "tile":
+            sizes = self.rng.choice(([2], [3], [0], [2, 2]))
+            transform.loop_tile(builder, loop, sizes)
+        elif kind == "split":
+            transform.loop_split(builder, loop, self.rng.choice((2, 3)))
+        elif kind == "unroll":
+            if self.rng.random() < 0.5:
+                transform.loop_unroll(builder, loop, full=True)
+            else:
+                transform.loop_unroll(
+                    builder, loop, factor=self.rng.choice((1, 2, 4))
+                )
+        else:
+            op = builder.create(
+                "transform.loop.peel",
+                operands=[loop],
+                result_types=[transform.ANY_OP, transform.ANY_OP],
+            )
+            del op
+        # All four consume their loop operand.
+        loops.remove(loop)
+        consumed.append(loop)
+
+    def _nested_alternatives(self, builder: Builder, root: Value,
+                             nesting: int) -> None:
+        alts = transform.alternatives(builder, self.rng.randint(1, 3))
+        for region in alts.regions[:-1]:
+            inner = Builder.at_end(region.entry_block)
+            self.fill_block(inner, root, self.rng.randint(1, 3),
+                            nesting + 1)
+            if self.rng.random() < 0.6:
+                inner.create("transform.test.emit_silenceable")
+            transform.yield_(inner)
+        # Last region: either another attempt or the empty fallback.
+        if self.rng.random() < 0.5:
+            inner = Builder.at_end(alts.regions[-1].entry_block)
+            self.fill_block(inner, root, self.rng.randint(1, 2),
+                            nesting + 1)
+            transform.yield_(inner)
+
+
+def build_rollback_case(rng: random.Random
+                        ) -> Tuple[Operation, Operation]:
+    """Payload + schedule whose first alternative mutates then fails.
+
+    Region 1 runs a *safe* random mutating schedule and then fails
+    silenceably; region 2 is the empty "leave the code unchanged"
+    fallback. Interpretation must succeed with the payload print
+    byte-identical to the pre-``alternatives`` state.
+    """
+    payload = PayloadFuzzer(rng).module()
+    script, builder, root = transform.sequence()
+    alts = transform.alternatives(builder, 2)
+    first = Builder.at_end(alts.regions[0].entry_block)
+    ScheduleFuzzer(rng, safe=True).fill_block(
+        first, root, rng.randint(1, 4), nesting=1
+    )
+    first.create(
+        "transform.test.emit_silenceable",
+        attributes={"message": "force rollback"},
+    )
+    transform.yield_(builder)
+    return payload, script
+
+
+# ---------------------------------------------------------------------------
+# Case execution and invariants
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CaseOutcome:
+    """Classified result of interpreting one fuzz case."""
+
+    kind: str  # "success" | "silenceable" | "definite" | "crash"
+    message: str
+    payload_print: str
+
+
+@dataclass
+class FuzzFailure:
+    """One violated invariant, with enough context to reproduce."""
+
+    case_seed: int
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"[case-seed {self.case_seed}] {self.invariant}: {self.detail}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate over a fuzz run."""
+
+    cases: int = 0
+    outcomes: Counter = field(default_factory=Counter)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [f"fuzz: {self.cases} cases"]
+        for kind in ("success", "silenceable", "definite", "crash"):
+            if self.outcomes.get(kind):
+                lines.append(f"  {kind}: {self.outcomes[kind]}")
+        if self.failures:
+            lines.append(f"  FAILURES: {len(self.failures)}")
+            lines.extend(f"    {failure}" for failure in self.failures)
+        else:
+            lines.append("  all invariants held")
+        return "\n".join(lines)
+
+
+def _interpret(payload: Operation, script: Operation) -> CaseOutcome:
+    """Run ``script`` on ``payload``, classifying the outcome."""
+    interpreter = TransformInterpreter()
+    try:
+        result = interpreter.apply(script, payload)
+    except TransformInterpreterError as error:
+        return CaseOutcome("definite", str(error.result.message),
+                           print_op(payload))
+    except Exception as error:  # pragma: no cover - a found bug
+        return CaseOutcome(
+            "crash",
+            f"{type(error).__name__}: {error}\n"
+            + traceback.format_exc(limit=8),
+            "",
+        )
+    kind = "silenceable" if result.is_silenceable else "success"
+    return CaseOutcome(kind, result.message, print_op(payload))
+
+
+def _build_case(case_seed: int
+                ) -> Tuple[Operation, Operation, bool, str]:
+    """(payload, script, is_rollback_case, pre-run print)."""
+    rng = random.Random(case_seed)
+    rollback = rng.random() < 0.4
+    if rollback:
+        payload, script = build_rollback_case(rng)
+    else:
+        payload = PayloadFuzzer(rng).module()
+        script = ScheduleFuzzer(rng).sequence()
+    return payload, script, rollback, print_op(payload)
+
+
+def run_case(case_seed: int) -> Tuple[CaseOutcome, List[FuzzFailure]]:
+    """Build and interpret one case twice, checking every invariant."""
+    failures: List[FuzzFailure] = []
+    payload, script, rollback, before = _build_case(case_seed)
+    outcome = _interpret(payload, script)
+
+    if outcome.kind == "crash":
+        failures.append(FuzzFailure(
+            case_seed, "no-uncaught-exceptions", outcome.message
+        ))
+        return outcome, failures
+
+    if outcome.kind in ("success", "silenceable"):
+        try:
+            payload.verify()
+        except Exception as error:
+            failures.append(FuzzFailure(
+                case_seed, "payload-verifies-after-run",
+                f"{type(error).__name__}: {error}",
+            ))
+
+    if rollback:
+        if outcome.kind != "success":
+            failures.append(FuzzFailure(
+                case_seed, "rollback-case-succeeds",
+                f"got {outcome.kind}: {outcome.message}",
+            ))
+        elif outcome.payload_print != before:
+            failures.append(FuzzFailure(
+                case_seed, "rollback-byte-identical",
+                "payload print changed across a rolled-back alternative",
+            ))
+
+    # Stable classification: regenerate from the seed and re-run.
+    payload2, script2, _rollback2, before2 = _build_case(case_seed)
+    if before2 != before:
+        failures.append(FuzzFailure(
+            case_seed, "deterministic-generation",
+            "payload generation is not a pure function of the seed",
+        ))
+    replay = _interpret(payload2, script2)
+    if (replay.kind, replay.message) != (outcome.kind, outcome.message):
+        failures.append(FuzzFailure(
+            case_seed, "stable-classification",
+            f"first run {outcome.kind}: {outcome.message!r}; "
+            f"replay {replay.kind}: {replay.message!r}",
+        ))
+    elif replay.payload_print != outcome.payload_print:
+        failures.append(FuzzFailure(
+            case_seed, "deterministic-execution",
+            "payload prints diverge between identical runs",
+        ))
+    return outcome, failures
+
+
+def run_fuzz(seed: int = 0, cases: int = 200) -> FuzzReport:
+    """Run ``cases`` fuzz cases derived from ``seed``."""
+    report = FuzzReport(cases=cases)
+    for index in range(cases):
+        case_seed = seed * 1_000_003 + index
+        outcome, failures = run_case(case_seed)
+        report.outcomes[outcome.kind] += 1
+        report.failures.extend(failures)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.testing.fuzz
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="randomized schedule/payload fuzzing of the "
+        "transform interpreter",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the run (default 0)")
+    parser.add_argument("--cases", type=int, default=200,
+                        help="number of cases (default 200)")
+    parser.add_argument("--case-seed", type=int, default=None,
+                        help="re-run a single case by its case-seed "
+                        "(as printed in a failure report)")
+    args = parser.parse_args(argv)
+
+    if args.case_seed is not None:
+        outcome, failures = run_case(args.case_seed)
+        print(f"case-seed {args.case_seed}: {outcome.kind}"
+              + (f": {outcome.message}" if outcome.message else ""))
+        for failure in failures:
+            print(f"  {failure}")
+        return 0 if not failures else 1
+
+    report = run_fuzz(args.seed, args.cases)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -27,6 +27,7 @@ import repro.core  # noqa: F401 — registers transform ops
 import repro.dialects  # noqa: F401 — registers payload ops
 import repro.passes  # noqa: F401 — registers passes
 from .core.conditions import payload_op_specs
+from .core.errors import TransformInterpreterError
 from .core.interpreter import TransformInterpreter
 from .core.invalidation import verify_script
 from .core.static_checker import check_transform_script
@@ -47,6 +48,7 @@ def transform_opt(
     check: bool = False,
     final_allowed: Sequence[str] = ("llvm.*",),
     profiler=None,
+    strict: bool = False,
 ) -> str:
     """Apply a textual transform script to a textual payload.
 
@@ -54,6 +56,11 @@ def transform_opt(
     static script verification and the pipeline condition check run
     first and abort on errors. ``profiler`` (a
     :class:`repro.profiling.Profiler`) collects the timing report.
+    Definite interpretation failures raise
+    :class:`~repro.core.errors.TransformInterpreterError` whose message
+    is the interpreter's MLIR-style ``error:``/``note:`` diagnostic
+    chain; ``strict`` disables the exception barrier so crashes in
+    transform code propagate raw (for debugging).
     """
     payload = parse(payload_text, "<payload>")
     script = parse(script_text, "<script>")
@@ -73,10 +80,11 @@ def transform_opt(
                 "static pipeline check failed:\n" + report.render()
             )
 
-    interpreter = TransformInterpreter(profiler=profiler)
+    interpreter = TransformInterpreter(profiler=profiler, strict=strict)
     result = interpreter.apply(script, payload, entry_point)
     if result.is_silenceable:
-        print(f"warning: {result}", file=sys.stderr)
+        print(f"warning: {interpreter.diagnostics.render()}",
+              file=sys.stderr)
     payload.verify()
     return print_op(payload)
 
@@ -103,6 +111,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="named sequence to run")
     parser.add_argument("--check", action="store_true",
                         help="run static checks before interpreting")
+    parser.add_argument("--strict", action="store_true",
+                        help="disable the exception barrier: crashes in "
+                        "transform/pattern code propagate raw")
     parser.add_argument("--timing", action="store_true",
                         help="print a -mlir-timing-style report to stderr")
     parser.add_argument("-o", "--output", default="-",
@@ -123,13 +134,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             script_text = open(args.script).read()
             output = transform_opt(
                 payload_text, script_text, args.entry_point, args.check,
-                profiler=profiler,
+                profiler=profiler, strict=args.strict,
             )
         else:
             output = pipeline_opt(payload_text, args.pipeline,
                                   profiler=profiler)
     except ToolError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 1
+    except TransformInterpreterError as error:
+        # The interpreter already rendered the failure as an MLIR-style
+        # error/note diagnostic chain; print it verbatim.
+        print(str(error), file=sys.stderr)
         return 1
     if profiler is not None:
         print(profiler.render(), file=sys.stderr)

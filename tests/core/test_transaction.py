@@ -1,0 +1,230 @@
+"""Tests for transactional transform execution (§3.4, Fig. 8).
+
+Covers :class:`~repro.core.transaction.PayloadTransaction` directly and
+its integration into ``transform.alternatives``: payload and handle
+state roll back together, result handles map from the winning region's
+yield, and handles into the checkpointed subtree survive a rollback.
+"""
+
+import pytest
+
+from repro.core import dialect as transform
+from repro.core.interpreter import TransformInterpreter
+from repro.core.state import HandleInvalidatedError, TransformState
+from repro.core.transaction import PayloadTransaction
+from repro.execution.workloads import build_matmul_module
+from repro.ir import Builder
+from repro.ir.printer import print_op
+
+
+def loops_of(module):
+    return [op for op in module.walk() if op.name == "scf.for"]
+
+
+class TestPayloadTransaction:
+    def test_rollback_restores_payload_bytes(self):
+        payload = build_matmul_module(2, 2, 2)
+        state = TransformState(payload)
+        before = print_op(payload)
+        txn = PayloadTransaction(state)
+        loops_of(payload)[0].set_attr("mutated", 1)
+        assert print_op(payload) != before
+        txn.rollback()
+        assert print_op(payload) == before
+
+    def test_commit_keeps_changes(self):
+        payload = build_matmul_module(2, 2, 2)
+        state = TransformState(payload)
+        txn = PayloadTransaction(state)
+        loops_of(payload)[0].set_attr("mutated", 1)
+        after = print_op(payload)
+        txn.commit()
+        assert print_op(payload) == after
+
+    def test_rollback_restores_handle_state(self):
+        payload = build_matmul_module(2, 2, 2)
+        state = TransformState(payload)
+        root_handle = object()
+        state.set_payload(root_handle, [payload])
+        txn = PayloadTransaction(state)
+        extra = object()
+        state.set_payload(extra, loops_of(payload)[:1])
+        txn.rollback()
+        # The handle created inside the transaction is gone; the
+        # pre-existing one still resolves.
+        with pytest.raises(HandleInvalidatedError):
+            state.get_payload(extra)
+        assert state.get_payload(root_handle) == [payload]
+
+    def test_context_manager_rolls_back_on_error(self):
+        payload = build_matmul_module(2, 2, 2)
+        state = TransformState(payload)
+        before = print_op(payload)
+        with pytest.raises(RuntimeError, match="boom"):
+            with PayloadTransaction(state):
+                loops_of(payload)[0].set_attr("mutated", 1)
+                raise RuntimeError("boom")
+        assert print_op(payload) == before
+
+
+class TestAlternativesRollback:
+    def _run(self, payload, script):
+        return TransformInterpreter().apply(script, payload)
+
+    def test_failed_alternative_leaves_payload_byte_identical(self):
+        payload = build_matmul_module(4, 4, 4)
+        before = print_op(payload)
+        script, builder, root = transform.sequence()
+        alts = transform.alternatives(builder, 2)
+        first = Builder.at_end(alts.regions[0].entry_block)
+        loop = transform.match_op(first, root, "scf.for", position="first")
+        transform.loop_unroll(first, loop, full=True)
+        first.create("transform.test.emit_silenceable",
+                     attributes={"message": "reject attempt 1"})
+        transform.yield_(first)
+        transform.yield_(Builder.at_end(alts.regions[1].entry_block))
+        transform.yield_(builder)
+        result = self._run(payload, script)
+        assert result.succeeded
+        assert print_op(payload) == before
+
+    def test_second_alternative_sees_restored_payload(self):
+        payload = build_matmul_module(4, 4, 4)
+        n_loops = len(loops_of(payload))
+        script, builder, root = transform.sequence()
+        alts = transform.alternatives(builder, 2)
+        first = Builder.at_end(alts.regions[0].entry_block)
+        loop = transform.match_op(first, root, "scf.for", position="first")
+        transform.loop_unroll(first, loop, full=True)
+        first.create("transform.test.emit_silenceable")
+        transform.yield_(first)
+        second = Builder.at_end(alts.regions[1].entry_block)
+        # Counts loops in the *restored* payload: position="second"
+        # only exists if the unroll from region 1 was rolled back.
+        inner = transform.match_op(second, root, "scf.for",
+                                   position="second")
+        transform.annotate(second, inner, "chosen", 1)
+        transform.yield_(second)
+        transform.yield_(builder)
+        result = self._run(payload, script)
+        assert result.succeeded
+        assert len(loops_of(payload)) == n_loops
+        assert loops_of(payload)[1].attr("chosen") is not None
+
+    def test_nested_alternatives_roll_back_independently(self):
+        payload = build_matmul_module(4, 4, 4)
+        before = print_op(payload)
+        script, builder, root = transform.sequence()
+        outer = transform.alternatives(builder, 2)
+        first = Builder.at_end(outer.regions[0].entry_block)
+        # Inner alternatives whose only region mutates then fails: the
+        # inner rollback restores the payload, and the inner op itself
+        # reports silenceably, which makes the *outer* region 1 fail
+        # and roll back too.
+        inner_alts = transform.alternatives(first, 1)
+        inner = Builder.at_end(inner_alts.regions[0].entry_block)
+        loop = transform.match_op(inner, root, "scf.for", position="first")
+        transform.loop_unroll(inner, loop, full=True)
+        inner.create("transform.test.emit_silenceable")
+        transform.yield_(inner)
+        loop2 = transform.match_op(first, root, "scf.for",
+                                   position="first")
+        transform.loop_unroll(first, loop2, factor=2)
+        first.create("transform.test.emit_silenceable")
+        transform.yield_(first)
+        transform.yield_(Builder.at_end(outer.regions[1].entry_block))
+        transform.yield_(builder)
+        result = self._run(payload, script)
+        assert result.succeeded
+        assert print_op(payload) == before
+
+    def test_handle_into_subtree_survives_rollback(self):
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        # Created BEFORE the alternatives, pointing deep into the
+        # subtree the transaction clones and restores.
+        load = transform.match_op(builder, root, "memref.load",
+                                  position="first")
+        alts = transform.alternatives(builder, 2)
+        first = Builder.at_end(alts.regions[0].entry_block)
+        loop = transform.match_op(first, root, "scf.for", position="first")
+        transform.loop_unroll(first, loop, full=True)
+        first.create("transform.test.emit_silenceable")
+        transform.yield_(first)
+        transform.yield_(Builder.at_end(alts.regions[1].entry_block))
+        # After rollback the old handle must still resolve and point at
+        # an op that is attached to the payload tree.
+        transform.annotate(builder, load, "survived", 1)
+        transform.yield_(builder)
+        result = self._run(payload, script)
+        assert result.succeeded
+        marked = [op for op in payload.walk()
+                  if op.attr("survived") is not None]
+        assert [op.name for op in marked] == ["memref.load"]
+
+    def test_result_handles_map_from_winning_region(self):
+        """Regression: alternatives results were never mapped, so a
+        consumer of the result handle crashed on an unknown handle."""
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        alts = transform.alternatives(builder, 2, n_results=1)
+        first = Builder.at_end(alts.regions[0].entry_block)
+        first.create("transform.test.emit_silenceable")
+        transform.yield_(first)
+        second = Builder.at_end(alts.regions[1].entry_block)
+        loop = transform.match_op(second, root, "scf.for",
+                                  position="first")
+        transform.yield_(second, [loop])
+        # Consume the alternatives result outside the op.
+        transform.annotate(builder, alts.results[0], "via_result", 1)
+        transform.yield_(builder)
+        result = self._run(payload, script)
+        assert result.succeeded
+        marked = [op for op in payload.walk()
+                  if op.attr("via_result") is not None]
+        assert [op.name for op in marked] == ["scf.for"]
+
+
+class TestDestroyedMidIteration:
+    def test_unroll_of_whole_nest_fails_silenceably(self):
+        """Fuzzer-found regression: a handle matching every loop of a
+        nest crashes ``loop.unroll {full}`` with an IndexError once the
+        outer unroll destroys the inner loops. It must be a clean
+        silenceable failure instead."""
+        payload = build_matmul_module(2, 2, 2)
+        script, builder, root = transform.sequence()
+        nest = transform.match_op(builder, root, "scf.for", position="all")
+        transform.loop_unroll(builder, nest, full=True)
+        transform.yield_(builder)
+        result = TransformInterpreter().apply(script, payload)
+        assert result.is_silenceable
+        assert "destroyed while processing" in result.message
+        payload.verify()
+
+    def test_tile_of_whole_nest_fails_silenceably(self):
+        payload = build_matmul_module(4, 4, 4)
+        script, builder, root = transform.sequence()
+        nest = transform.match_op(builder, root, "scf.for", position="all")
+        transform.loop_tile(builder, nest, [2, 2])
+        transform.yield_(builder)
+        result = TransformInterpreter().apply(script, payload)
+        assert result.is_silenceable
+        assert "destroyed while processing" in result.message
+        payload.verify()
+
+    def test_recoverable_inside_alternatives(self):
+        """The silenceable classification matters: inside alternatives
+        the whole-nest unroll rolls back and the fallback runs."""
+        payload = build_matmul_module(2, 2, 2)
+        before = print_op(payload)
+        script, builder, root = transform.sequence()
+        alts = transform.alternatives(builder, 2)
+        first = Builder.at_end(alts.regions[0].entry_block)
+        nest = transform.match_op(first, root, "scf.for", position="all")
+        transform.loop_unroll(first, nest, full=True)
+        transform.yield_(first)
+        transform.yield_(Builder.at_end(alts.regions[1].entry_block))
+        transform.yield_(builder)
+        result = TransformInterpreter().apply(script, payload)
+        assert result.succeeded
+        assert print_op(payload) == before
