@@ -1,0 +1,84 @@
+"""Static analysis of transform scripts (paper §3.3/§3.4).
+
+Transform IR is ordinary IR, so script bugs are caught *statically*,
+before any payload exists:
+
+* :mod:`repro.analysis.dataflow` — a small forward dataflow engine
+  walking scripts in execution order with per-region fact snapshots;
+* :mod:`repro.analysis.invalidation` — interprocedural,
+  alternatives-aware use-after-consume ("use after free" over handles);
+* :mod:`repro.analysis.pipeline` — call-site-ordered pipeline
+  extraction and the §3.3 pre/postcondition check, branch-aware;
+* :mod:`repro.analysis.effects` — the shared silenceable-failure model;
+* :mod:`repro.analysis.lint` — the ``repro-lint`` driver tying it all
+  into one MLIR-style diagnostic stream.
+
+The dynamic counterpart lives in the interpreter
+(:class:`~repro.core.state.TransformState` invalidation tracking); the
+differential fuzzer (``python -m repro.testing.fuzz --differential``)
+asserts the two agree: every dynamic invalidation error is predicted
+statically, and no definite static error fires on a schedule that
+executes cleanly.
+"""
+
+from .dataflow import (
+    AbstractState,
+    ForwardAnalysis,
+    ForwardEngine,
+    Reach,
+    find_entry,
+    top_level_ops,
+)
+from .effects import always_fails, may_fail_silenceably
+from .invalidation import (
+    ERROR,
+    WARNING,
+    Consumption,
+    HandleState,
+    InvalidationAnalysis,
+    InvalidationIssue,
+    NamedSequenceSummary,
+    analyze_script,
+)
+from .lint import emit_invalidation_diagnostics, lint_script
+from .pipeline import (
+    IssueKind,
+    PipelineBranch,
+    PipelineIssue,
+    PipelineReport,
+    check_pipeline,
+    check_transform_script,
+    extract_pipeline_from_script,
+    extract_pipeline_tree,
+    flatten_pipeline,
+)
+
+__all__ = [
+    "AbstractState",
+    "Consumption",
+    "ERROR",
+    "ForwardAnalysis",
+    "ForwardEngine",
+    "HandleState",
+    "InvalidationAnalysis",
+    "InvalidationIssue",
+    "IssueKind",
+    "NamedSequenceSummary",
+    "PipelineBranch",
+    "PipelineIssue",
+    "PipelineReport",
+    "Reach",
+    "WARNING",
+    "always_fails",
+    "analyze_script",
+    "check_pipeline",
+    "check_transform_script",
+    "emit_invalidation_diagnostics",
+    "extract_pipeline_from_script",
+    "extract_pipeline_tree",
+    "find_entry",
+    "flatten_pipeline",
+    "lint_script",
+    "may_fail_silenceably",
+    "top_level_ops",
+]

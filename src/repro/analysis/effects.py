@@ -1,0 +1,95 @@
+"""Failure-effect model of transform operations.
+
+The static analyses need to know, *without executing anything*, how a
+transform op can terminate: success, silenceable failure (skips the
+rest of the region, recoverable by ``transform.alternatives``), or
+definite failure (aborts interpretation).  This module centralises that
+model so the dataflow engine (:mod:`repro.analysis.dataflow`), the
+invalidation analysis and the pipeline extractor all agree with the
+dynamic semantics in :mod:`repro.core.dialect`.
+
+The classification is deliberately conservative in the *may fail*
+direction: an op we know nothing about is assumed to possibly fail
+silenceably.  That direction is safe — it can only downgrade a
+static diagnostic from "definite error" to "possible error", never
+invent a definite error on a schedule that could execute cleanly.
+"""
+
+from __future__ import annotations
+
+from ..ir.core import Operation
+
+#: Ops that unconditionally fail when executed (testing aids).  Code
+#: after them in a block is dead; regions containing them on the
+#: straight-line path can never complete successfully.
+ALWAYS_FAILING = frozenset({
+    "transform.test.emit_silenceable",
+    "transform.test.emit_definite",
+})
+
+#: Ops whose ``apply`` can *never* produce a silenceable failure: they
+#: either succeed or (for a few of them) abort with a definite error.
+#: Definite errors need no skip-tracking — any run hitting one is not a
+#: clean run, so they cannot create static false positives.
+_NEVER_SILENCEABLE = frozenset({
+    "transform.yield",
+    "transform.merge_handles",
+    "transform.num_payload_ops",
+    "transform.param.constant",
+    "transform.annotate",
+    "transform.print",
+    "transform.select",
+    "transform.apply_registered_pass",  # pass failures are definite
+    "transform.apply_patterns",         # pattern crashes are definite
+    "transform.autodiff",               # missing config is definite
+    "transform.named_sequence",         # inline occurrence is a no-op
+    "transform.test.emit_definite",     # definite, not silenceable
+})
+
+
+def always_fails(op: Operation) -> bool:
+    """Does ``op`` unconditionally fail when executed?"""
+    return op.name in ALWAYS_FAILING
+
+
+def _sequence_suppresses(op: Operation) -> bool:
+    failures = op.attr("failures")
+    return getattr(failures, "value", None) == "suppress"
+
+
+def may_fail_silenceably(op: Operation) -> bool:
+    """Can ``op`` produce a silenceable failure?
+
+    Mirrors the interpreter rules: ``match_op`` only fails silenceably
+    when a positional match comes up empty (``position`` other than
+    ``"all"``); ``alternatives`` always has the empty-region fallback
+    escape hatch when one of its regions is empty; a ``sequence`` in
+    ``suppress`` mode swallows its body's silenceable failures.
+    """
+    if op.name == "transform.test.emit_silenceable":
+        return True
+    if op.name in _NEVER_SILENCEABLE:
+        return False
+    if op.name == "transform.match_op":
+        position = op.attr("position")
+        return getattr(position, "value", "all") != "all"
+    if op.name == "transform.alternatives":
+        # An empty region is the always-succeeding "leave the code
+        # unchanged" fallback: the op as a whole cannot fail.
+        return not any(
+            not region.blocks or not region.blocks[0].ops
+            for region in op.regions
+        )
+    if op.name == "transform.sequence":
+        return not _sequence_suppresses(op)
+    if op.name.startswith("transform.pattern"):
+        return False
+    # Loop/structured transforms, cast, split_handle, get_parent_op,
+    # foreach, include, and anything unknown: assume a silenceable
+    # failure is possible.
+    return True
+
+
+def sequence_suppresses(op: Operation) -> bool:
+    """Is ``op`` a sequence that swallows silenceable body failures?"""
+    return op.name == "transform.sequence" and _sequence_suppresses(op)

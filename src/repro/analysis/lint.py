@@ -1,0 +1,223 @@
+"""``repro-lint``: the transform-script static analysis driver.
+
+Bundles every static check into one MLIR-style diagnostic stream
+(:class:`~repro.ir.diagnostics.DiagnosticEngine`):
+
+* interprocedural use-after-consume (:mod:`repro.analysis.invalidation`)
+  — ``error:`` at the using op with ``note:``\\ s at the consuming op
+  and (for include call sites) the in-body consumer;
+* structural checks — ``transform.include`` without a resolvable
+  ``target``;
+* dead handles — navigation/query ops none of whose results are used;
+* dead macros — ``named_sequence`` definitions never included and not
+  the entry point;
+* optionally (when payload specs are given) the §3.3 pipeline
+  condition check, branch-aware.
+
+Usage::
+
+    repro-lint schedule.mlir
+    repro-lint schedule.mlir --payload payload.mlir
+    python -m repro.analysis.lint schedule.mlir --werror
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional
+
+from ..ir.core import Operation
+from ..ir.diagnostics import Diagnostic, DiagnosticEngine, Severity
+from .dataflow import find_entry
+from .invalidation import ERROR, InvalidationIssue, analyze_script
+from .pipeline import IssueKind, check_transform_script
+
+#: Ops whose only observable effect is producing result handles: with
+#: every result unused they are dead weight in the schedule.
+RESULT_ONLY_OPS = frozenset({
+    "transform.match_op",
+    "transform.get_parent_op",
+    "transform.select",
+    "transform.cast",
+    "transform.merge_handles",
+    "transform.split_handle",
+    "transform.param.constant",
+    "transform.num_payload_ops",
+})
+
+
+def emit_invalidation_diagnostics(
+    issues: Iterable[InvalidationIssue],
+    engine: DiagnosticEngine,
+) -> None:
+    """Render analysis issues as error/note (or warning/note) chains."""
+    for issue in issues:
+        severity = (Severity.ERROR if issue.severity == ERROR
+                    else Severity.WARNING)
+        diagnostic = Diagnostic(
+            severity,
+            f"'{issue.use_op.name}' uses an invalidated handle: "
+            f"{issue.message}",
+            issue.use_op.location,
+        )
+        diagnostic.attach_note(
+            f"handle was consumed here by '{issue.consume_op.name}'",
+            issue.consume_op.location,
+        )
+        if issue.via is not None:
+            diagnostic.attach_note(
+                f"inside the included sequence, consumed by "
+                f"'{issue.via.name}'",
+                issue.via.location,
+            )
+        engine.emit(diagnostic)
+
+
+def _lint_structure(script: Operation, engine: DiagnosticEngine) -> None:
+    from ..ir.context import lookup_symbol
+
+    for op in script.walk():
+        if op.name != "transform.include":
+            continue
+        target = op.attr("target")
+        name = getattr(target, "name", None)
+        if name is None:
+            engine.error("transform.include without a 'target' symbol",
+                         op.location)
+        elif lookup_symbol(op, name) is None:
+            engine.error(f"transform.include of unknown symbol @{name}",
+                         op.location)
+
+
+def _lint_dead_handles(script: Operation,
+                       engine: DiagnosticEngine) -> None:
+    for op in script.walk():
+        if op.name not in RESULT_ONLY_OPS or not op.results:
+            continue
+        if not any(result.has_uses() for result in op.results):
+            engine.warning(
+                f"dead handle: no result of '{op.name}' is ever used",
+                op.location,
+            )
+
+
+def _lint_dead_macros(script: Operation, engine: DiagnosticEngine,
+                      entry_point: Optional[str]) -> None:
+    included = set()
+    for op in script.walk():
+        if op.name == "transform.include":
+            name = getattr(op.attr("target"), "name", None)
+            if name is not None:
+                included.add(name)
+    entry = find_entry(script, entry_point)
+    for op in script.walk():
+        if op.name != "transform.named_sequence" or op is entry:
+            continue
+        sym = getattr(op.attr("sym_name"), "value", None)
+        if sym is not None and sym not in included:
+            engine.warning(
+                f"named sequence @{sym} is never included and is not "
+                "the entry point",
+                op.location,
+            )
+
+
+def _lint_pipeline(script: Operation, engine: DiagnosticEngine,
+                   payload_specs: Iterable[str],
+                   final_allowed: Iterable[str],
+                   entry_point: Optional[str]) -> None:
+    report = check_transform_script(script, payload_specs,
+                                    final_allowed, entry_point)
+    for issue in report.issues:
+        if issue.kind is IssueKind.UNKNOWN_CONDITIONS:
+            engine.remark(str(issue), script.location)
+        else:
+            engine.error(str(issue), script.location)
+
+
+def lint_script(
+    script: Operation,
+    payload_specs: Optional[Iterable[str]] = None,
+    final_allowed: Iterable[str] = ("llvm.*",),
+    entry_point: Optional[str] = None,
+    engine: Optional[DiagnosticEngine] = None,
+    may_alias: bool = False,
+) -> DiagnosticEngine:
+    """Run every static check over ``script``; returns the engine.
+
+    ``may_alias=True`` additionally reports the coarse worst-case
+    aliasing warnings the differential fuzz oracle relies on (noisy for
+    human consumption, hence off by default).
+    """
+    engine = engine or DiagnosticEngine()
+    issues = analyze_script(script, may_alias=may_alias)
+    emit_invalidation_diagnostics(issues, engine)
+    _lint_structure(script, engine)
+    _lint_dead_handles(script, engine)
+    _lint_dead_macros(script, engine, entry_point)
+    if payload_specs is not None:
+        _lint_pipeline(script, engine, payload_specs, final_allowed,
+                       entry_point)
+    return engine
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="statically analyze a transform script: "
+        "use-after-consume (interprocedural), structure, dead handles, "
+        "and optionally the pipeline condition check",
+    )
+    parser.add_argument("script",
+                        help="transform script IR file ('-' = stdin)")
+    parser.add_argument("--payload", default=None,
+                        help="payload IR file: enables the pipeline "
+                        "condition check against its op specs")
+    parser.add_argument("--entry-point", default=None,
+                        help="named sequence acting as the entry point")
+    parser.add_argument("--final-allowed", action="append", default=None,
+                        metavar="SPEC",
+                        help="op spec allowed after the pipeline "
+                        "(repeatable; default: llvm.*)")
+    parser.add_argument("--may-alias", action="store_true",
+                        help="also report worst-case aliasing warnings")
+    parser.add_argument("--werror", action="store_true",
+                        help="treat warnings as errors")
+    args = parser.parse_args(argv)
+
+    import repro.core  # noqa: F401 — registers transform ops
+    import repro.dialects  # noqa: F401 — registers payload ops
+    import repro.passes  # noqa: F401 — registers passes
+    from ..core.conditions import payload_op_specs
+    from ..ir.parser import parse
+
+    script_text = (sys.stdin.read() if args.script == "-"
+                   else open(args.script).read())
+    script = parse(script_text, "<script>" if args.script == "-"
+                   else args.script)
+    payload_specs = None
+    if args.payload is not None:
+        payload_specs = payload_op_specs(
+            parse(open(args.payload).read(), args.payload)
+        )
+    engine = lint_script(
+        script,
+        payload_specs=payload_specs,
+        final_allowed=args.final_allowed or ("llvm.*",),
+        entry_point=args.entry_point,
+        may_alias=args.may_alias,
+    )
+    if engine.diagnostics:
+        print(engine.render())
+    failed = engine.has_errors() or (args.werror and engine.warnings)
+    if failed:
+        return 1
+    print(f"{args.script}: no issues found"
+          if not engine.diagnostics else
+          f"{args.script}: no errors (warnings above)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,9 @@ from ..core import dialect as transform
 from ..core.interpreter import TransformInterpreter
 from ..execution.costmodel import CostModel
 from ..execution.workloads import build_batch_matmul_module
-from ..ir.builder import Builder
 from ..ir.core import Operation
 from .space import Config, Parameter, SearchSpace
-from .tuner import BayesianTuner, RandomSearchTuner, TuningResult
+from .tuner import BayesianTuner, TuningResult
 
 
 @dataclass

@@ -9,8 +9,8 @@ count is not divisible by the vector size".
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Sequence
 
 import numpy as np
 

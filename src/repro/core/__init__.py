@@ -59,11 +59,14 @@ from .state import HandleInvalidatedError, StateSnapshot, TransformState
 from .transaction import PayloadTransaction, TransactionError
 from .static_checker import (
     IssueKind,
+    PipelineBranch,
     PipelineIssue,
     PipelineReport,
     check_pipeline,
     check_transform_script,
     extract_pipeline_from_script,
+    extract_pipeline_tree,
+    flatten_pipeline,
 )
 from .types import (
     ANY_OP,

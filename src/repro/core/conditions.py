@@ -18,7 +18,7 @@ dynamic checker can consume one uniform representation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional, Set, Tuple
+from typing import FrozenSet, Optional, Set
 
 from ..ir.core import Operation
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir.attributes import (
-    ArrayAttr,
     IntegerAttr,
     StringAttr,
     SymbolRefAttr,
@@ -37,7 +36,6 @@ from ..ir.core import (
     IsolatedFromAbove,
     Operation,
     SingleBlock,
-    SymbolTableTrait,
     SymbolTrait,
     Value,
     register_op,
@@ -61,7 +59,7 @@ from ..transforms.microkernel import (
 )
 from .errors import TransformResult
 from .state import TransformState
-from .types import ANY_OP, AnyOpType, OperationHandleType, PARAM_I64, ParamType
+from .types import ANY_OP, OperationHandleType, PARAM_I64, ParamType
 
 # ---------------------------------------------------------------------------
 # Base class and registries

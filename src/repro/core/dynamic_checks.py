@@ -15,8 +15,8 @@ additionally verify them while transforming a concrete program:
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..ir.core import Operation
 from ..irdl.library import lookup_def

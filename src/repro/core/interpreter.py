@@ -59,8 +59,14 @@ class TransformInterpreter:
                  track_invalidation: bool = True,
                  profiler=None,
                  strict: bool = False,
-                 diagnostics: Optional[DiagnosticEngine] = None):
+                 diagnostics: Optional[DiagnosticEngine] = None,
+                 preflight: bool = False):
         self.check_types = check_types
+        #: Refuse to execute scripts carrying *definite* static errors
+        #: (use-after-consume the analysis proves happens on every
+        #: clean run) — the §3.4 safety net applied before any payload
+        #: is touched.
+        self.preflight = preflight
         #: Ablation knob: disable nested-alias invalidation tracking.
         self.track_invalidation = track_invalidation
         #: Optional :class:`repro.profiling.Profiler` recording
@@ -87,6 +93,8 @@ class TransformInterpreter:
         :class:`TransformInterpreterError` on definite errors; returns
         the final :class:`TransformResult` otherwise.
         """
+        if self.preflight:
+            self._run_preflight(script)
         start = time.perf_counter()
         state = TransformState(payload)
         entry = self._find_entry(script, entry_point)
@@ -118,6 +126,33 @@ class TransformInterpreter:
         if result.is_silenceable:
             self._diagnose(result, Severity.WARNING)
         return result
+
+    def _run_preflight(self, script: Operation) -> None:
+        """Static gate: raise before executing anything if the script
+        has a *definite* use-after-consume error."""
+        from ..analysis.invalidation import ERROR as STATIC_ERROR
+        from ..analysis.invalidation import analyze_script
+
+        errors = [
+            issue for issue in analyze_script(script, may_alias=False)
+            if issue.severity == STATIC_ERROR
+        ]
+        if not errors:
+            return
+        result = TransformResult.definite(
+            f"preflight: {len(errors)} definite static error(s) in "
+            "transform script; refusing to execute", script,
+        )
+        diagnostic = Diagnostic(Severity.ERROR, result.message,
+                                script.location)
+        for issue in errors:
+            diagnostic.attach_note(str(issue), issue.use_op.location)
+            diagnostic.attach_note(
+                f"handle consumed here by '{issue.consume_op.name}'",
+                issue.consume_op.location,
+            )
+        self.diagnostics.emit(diagnostic)
+        raise TransformInterpreterError(result, diagnostic)
 
     def _find_entry(self, script: Operation,
                     entry_point: Optional[str]) -> Optional[Operation]:

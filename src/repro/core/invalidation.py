@@ -1,151 +1,43 @@
-"""Static handle-invalidation analysis (paper §3.4).
+"""Static handle-invalidation analysis (paper §3.4) — core facade.
 
-Because transform scripts are ordinary SSA IR, use-after-consume of
-handles is detectable with an off-the-shelf "use after free" dataflow
-analysis: handle definitions are allocations, consumption is a free,
-and handles to nested/equal payload alias their source. This module
-runs that analysis over a script *without executing it* — catching,
-e.g., the double-unroll of Fig. 1 line 11 at script-verification time.
+The implementation lives in :mod:`repro.analysis.invalidation`, built
+on the forward dataflow engine: interprocedural (``named_sequence``
+summaries applied at ``transform.include`` sites), alternatives-aware
+(per-region fact snapshots matching the transactional rollback), with
+positional ``foreach`` aliasing. This module keeps the historical
+``repro.core`` API:
 
-Alias edges come in two flavours, mirroring the dynamic semantics
-(consuming a handle invalidates handles to the *same* payload ops or
-ops *nested in* them, but not enclosing ones):
-
-* **nested** edges (``match_op``: the result points strictly inside the
-  operand's payload) — consumption flows source -> derived only;
-* **subset** edges (``foreach`` block arguments, ``split_handle``,
-  ``merge_handles``, ``cast``: the result points at the same payload
-  ops) — consumption flows both ways.
+* :func:`analyze_invalidation` returns the *derivation-based* issues —
+  direct consumption and declared alias edges — without the coarse
+  worst-case may-alias warnings (those exist for the differential fuzz
+  oracle; ask :func:`repro.analysis.invalidation.analyze_script` with
+  ``may_alias=True`` for them);
+* :func:`verify_script` flattens the issues to human-readable strings
+  and adds structural checks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import List
 
-from ..ir.core import Block, Operation, Value
+from ..analysis.invalidation import (
+    InvalidationIssue,
+    analyze_script,
+)
+from ..ir.core import Operation
 
-#: result payload strictly nested in operand payload.
-_DERIVES_NESTED = {"transform.match_op"}
-
-#: result payload equal to (a subset of) operand payload.
-_DERIVES_SUBSET = {
-    "transform.cast",
-    "transform.merge_handles",
-    "transform.split_handle",
-}
-
-
-@dataclass
-class InvalidationIssue:
-    """One use-after-consume diagnosis."""
-
-    message: str
-    use_op: Operation
-    consume_op: Operation
-
-    def __str__(self) -> str:
-        return (
-            f"'{self.use_op.name}' uses a handle invalidated by "
-            f"'{self.consume_op.name}': {self.message}"
-        )
-
-
-class _HandleFacts:
-    """Per-value dataflow facts: derivation edges and consumption."""
-
-    def __init__(self) -> None:
-        #: source -> values whose payload is nested in (or equal to) it.
-        self.downward: Dict[int, List[Value]] = {}
-        #: value -> values whose payload is equal (subset aliases).
-        self.subset: Dict[int, List[Value]] = {}
-        #: value -> op that consumed it (transitively via aliasing).
-        self.consumed_by: Dict[int, Operation] = {}
-
-    def add_nested(self, source: Value, result: Value) -> None:
-        self.downward.setdefault(id(source), []).append(result)
-
-    def add_subset(self, a: Value, b: Value) -> None:
-        self.subset.setdefault(id(a), []).append(b)
-        self.subset.setdefault(id(b), []).append(a)
-        # Subset aliases also receive downward consumption from each
-        # other's sources; treating them as mutual nested edges keeps
-        # the closure simple.
-        self.downward.setdefault(id(a), []).append(b)
-        self.downward.setdefault(id(b), []).append(a)
-
-    def invalidation_set(self, value: Value) -> List[Value]:
-        """Everything invalidated when ``value`` is consumed: the value,
-        its subset aliases, and all transitively nested handles."""
-        out: List[Value] = [value]
-        seen: Set[int] = {id(value)}
-        stack = [value]
-        while stack:
-            current = stack.pop()
-            for child in self.downward.get(id(current), []):
-                if id(child) not in seen:
-                    seen.add(id(child))
-                    out.append(child)
-                    stack.append(child)
-        return out
-
-    def consume(self, value: Value, op: Operation) -> None:
-        for aliased in self.invalidation_set(value):
-            self.consumed_by.setdefault(id(aliased), op)
-
-    def consumer(self, value: Value) -> Optional[Operation]:
-        return self.consumed_by.get(id(value))
+__all__ = ["InvalidationIssue", "analyze_invalidation", "verify_script"]
 
 
 def analyze_invalidation(script: Operation) -> List[InvalidationIssue]:
-    """Run the static use-after-consume analysis over a script."""
-    issues: List[InvalidationIssue] = []
-    for op in script.walk():
-        if op.name in ("transform.sequence", "transform.named_sequence"):
-            if op.regions and op.regions[0].blocks:
-                _analyze_block(op.regions[0].entry_block, _HandleFacts(),
-                               issues)
-    return issues
+    """Run the static use-after-consume analysis over a script.
 
-
-def _analyze_block(block: Block, facts: _HandleFacts,
-                   issues: List[InvalidationIssue]) -> None:
-    for op in block.ops:
-        # 1. Every operand use must not be through a consumed handle.
-        for operand in op.operands:
-            consumer = facts.consumer(operand)
-            if consumer is not None:
-                issues.append(
-                    InvalidationIssue(
-                        "handle (or an aliasing handle) was consumed "
-                        "earlier in the script",
-                        op,
-                        consumer,
-                    )
-                )
-        # 2. Record derivation edges for navigation-like transforms.
-        if op.name in _DERIVES_NESTED:
-            for operand in op.operands:
-                for result in op.results:
-                    facts.add_nested(operand, result)
-        elif op.name in _DERIVES_SUBSET:
-            for operand in op.operands:
-                for result in op.results:
-                    facts.add_subset(operand, result)
-        # 3. Nested regions execute in order with the same facts
-        #    (alternatives regions are analyzed independently but
-        #    conservatively share consumption facts).
-        for region in op.regions:
-            for nested in region.blocks:
-                if op.name == "transform.foreach" and nested.args:
-                    for operand in op.operands:
-                        facts.add_subset(operand, nested.args[0])
-                _analyze_block(nested, facts, issues)
-        # 4. Process consumption after the op "executes".
-        consumed = getattr(type(op), "CONSUMES", ())
-        for index in consumed:
-            if index < op.num_operands:
-                facts.consume(op.operand(index), op)
+    Each top-level sequence is analyzed exactly once (nested sequences
+    run inline with their parent's facts, mirroring execution) and each
+    ``named_sequence`` body exactly once via its summary, so every
+    defect yields one diagnostic.
+    """
+    return analyze_script(script, may_alias=False)
 
 
 def verify_script(script: Operation) -> List[str]:

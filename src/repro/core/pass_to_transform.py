@@ -9,9 +9,8 @@ string or pass-name list becomes a ``transform.sequence`` chaining one
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
-from ..ir.builder import Builder
 from ..ir.core import Operation
 from ..passes.manager import PASS_REGISTRY, PassManager, parse_pipeline
 from . import dialect as transform

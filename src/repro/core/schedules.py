@@ -18,7 +18,7 @@ Shipped schedules:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..ir.core import Operation
 from ..ir.parser import parse

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
-from ..ir.attributes import IntegerAttr, StringAttr, SymbolRefAttr, unwrap
+from ..ir.attributes import StringAttr, SymbolRefAttr, unwrap
 from ..ir.builder import Builder
-from ..ir.core import Block, Operation, Value
+from ..ir.core import Operation, Value
 
 
 class ScriptTransformError(Exception):

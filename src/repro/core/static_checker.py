@@ -1,203 +1,39 @@
-"""Static pipeline checking (paper §3.3, case study 2).
+"""Static pipeline checking (paper §3.3) — core facade.
 
-Abstractly interprets a pipeline over the *set of op specs* present in
-the payload: each transform removes the specs its preconditions
-subsume and adds its postconditions. The checker reports:
-
-* **leftover** specs after the pipeline that the final target does not
-  allow — e.g. the ``affine.apply`` leaked by ``expand-strided-metadata``
-  which no later pass removes (the exact bug of case study 2);
-* **phase-ordering violations**: a transform whose preconditions cannot
-  match anything at its position (e.g. a loop transform on ``scf.for``
-  scheduled after ``convert-scf-to-cf``).
+The implementation lives in :mod:`repro.analysis.pipeline`, built on
+the forward dataflow engine: extraction is call-site-ordered
+(``transform.include`` expanded at each call site, never-included
+``named_sequence`` bodies skipped) and ``transform.alternatives``
+regions are checked as branches. This module re-exports the historical
+``repro.core`` names.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Union
-
-from ..ir.core import Operation
-from .conditions import (
-    TransformConditions,
-    conditions_of,
-    pass_conditions,
-    spec_matches_name,
-    spec_subsumes,
+from ..analysis.pipeline import (
+    IssueKind,
+    PipelineBranch,
+    PipelineIssue,
+    PipelineReport,
+    PipelineStep,
+    StepLike,
+    check_pipeline,
+    check_transform_script,
+    extract_pipeline_from_script,
+    extract_pipeline_tree,
+    flatten_pipeline,
 )
 
-
-class IssueKind(enum.Enum):
-    LEFTOVER = "leftover"
-    PHASE_ORDERING = "phase-ordering"
-    UNKNOWN_CONDITIONS = "unknown-conditions"
-
-
-@dataclass
-class PipelineIssue:
-    kind: IssueKind
-    message: str
-    position: Optional[int] = None
-    transform_name: str = ""
-
-    def __str__(self) -> str:
-        where = (
-            f" (step {self.position + 1}: {self.transform_name})"
-            if self.position is not None
-            else ""
-        )
-        return f"[{self.kind.value}]{where} {self.message}"
-
-
-@dataclass
-class PipelineReport:
-    """Result of statically checking a pipeline."""
-
-    issues: List[PipelineIssue] = field(default_factory=list)
-    final_specs: Set[str] = field(default_factory=set)
-    #: Per-step (name, removed, added) trace for debugging/reporting.
-    trace: List[tuple] = field(default_factory=list)
-
-    @property
-    def ok(self) -> bool:
-        return not any(
-            issue.kind in (IssueKind.LEFTOVER, IssueKind.PHASE_ORDERING)
-            for issue in self.issues
-        )
-
-    def leftovers(self) -> List[PipelineIssue]:
-        return [i for i in self.issues if i.kind is IssueKind.LEFTOVER]
-
-    def render(self) -> str:
-        lines = ["=== static pipeline check ==="]
-        for name, removed, added in self.trace:
-            lines.append(
-                f"  {name}: -{sorted(removed) or '{}'} "
-                f"+{sorted(added) or '{}'}"
-            )
-        lines.append(f"  final: {sorted(self.final_specs)}")
-        for issue in self.issues:
-            lines.append(f"  {issue}")
-        lines.append("  OK" if self.ok else "  FAILED")
-        return "\n".join(lines)
-
-
-StepLike = Union[str, TransformConditions]
-
-
-def _resolve_steps(steps: Sequence[StepLike]) -> List[Optional[TransformConditions]]:
-    resolved: List[Optional[TransformConditions]] = []
-    for step in steps:
-        if isinstance(step, TransformConditions):
-            resolved.append(step)
-        else:
-            resolved.append(pass_conditions(step))
-    return resolved
-
-
-def check_pipeline(
-    steps: Sequence[StepLike],
-    input_specs: Iterable[str],
-    final_allowed: Iterable[str] = ("llvm.*",),
-) -> PipelineReport:
-    """Statically check a pipeline of pass names / condition objects.
-
-    ``input_specs`` is the set of op names initially present;
-    ``final_allowed`` the specs permitted after the pipeline.
-    """
-    report = PipelineReport()
-    present: Set[str] = set(input_specs)
-    allowed = list(final_allowed)
-
-    for position, conditions in enumerate(_resolve_steps(steps)):
-        if conditions is None:
-            name = (
-                steps[position]
-                if isinstance(steps[position], str)
-                else "<unknown>"
-            )
-            report.issues.append(
-                PipelineIssue(
-                    IssueKind.UNKNOWN_CONDITIONS,
-                    f"no declared conditions for {name!r}; treating as "
-                    "identity",
-                    position,
-                    str(name),
-                )
-            )
-            report.trace.append((name, set(), set()))
-            continue
-        removed = conditions.removes(present)
-        if not removed and conditions.preconditions:
-            report.issues.append(
-                PipelineIssue(
-                    IssueKind.PHASE_ORDERING,
-                    f"preconditions {sorted(conditions.preconditions)} "
-                    "match nothing at this point — the transform is dead "
-                    "or mis-ordered",
-                    position,
-                    conditions.name,
-                )
-            )
-        present -= removed
-        present |= set(conditions.postconditions)
-        report.trace.append((conditions.name, removed,
-                             set(conditions.postconditions)))
-
-    report.final_specs = set(present)
-    leftover = {
-        spec
-        for spec in present
-        if not any(spec_subsumes(allow, spec) for allow in allowed)
-    }
-    for spec in sorted(leftover):
-        producer = _find_producer(report.trace, spec)
-        suffix = f" (introduced by {producer})" if producer else ""
-        report.issues.append(
-            PipelineIssue(
-                IssueKind.LEFTOVER,
-                f"operation '{spec}' remains after the pipeline but the "
-                f"final target only allows {sorted(allowed)}{suffix}",
-            )
-        )
-    return report
-
-
-def _find_producer(trace: List[tuple], spec: str) -> Optional[str]:
-    producer = None
-    for name, _removed, added in trace:
-        if any(spec_subsumes(a, spec) or a == spec for a in added):
-            producer = name
-    return producer
-
-
-def extract_pipeline_from_script(script: Operation) -> List[StepLike]:
-    """Collect the checkable transform steps of a script, in order.
-
-    ``apply_registered_pass`` steps resolve to the pass's conditions;
-    other transform ops with declared conditions participate too (so
-    loop transforms on ``scf.for`` after ``convert-scf-to-cf`` are
-    flagged as phase-ordering violations).
-    """
-    steps: List[StepLike] = []
-    for op in script.walk():
-        if op.name == "transform.apply_registered_pass":
-            pass_name_attr = op.attr("pass_name")
-            steps.append(getattr(pass_name_attr, "value", ""))
-        else:
-            conditions = conditions_of(op)
-            if conditions is not None and op.name.startswith("transform."):
-                steps.append(conditions)
-    return steps
-
-
-def check_transform_script(
-    script: Operation,
-    input_specs: Iterable[str],
-    final_allowed: Iterable[str] = ("llvm.*",),
-) -> PipelineReport:
-    """Statically check the pipeline embedded in a transform script."""
-    return check_pipeline(
-        extract_pipeline_from_script(script), input_specs, final_allowed
-    )
+__all__ = [
+    "IssueKind",
+    "PipelineBranch",
+    "PipelineIssue",
+    "PipelineReport",
+    "PipelineStep",
+    "StepLike",
+    "check_pipeline",
+    "check_transform_script",
+    "extract_pipeline_from_script",
+    "extract_pipeline_tree",
+    "flatten_pipeline",
+]

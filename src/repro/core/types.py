@@ -9,8 +9,7 @@ shown in Fig. 1's right-hand-side comments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..ir.parser import Parser, register_type_parser
 from ..ir.types import Type

@@ -8,7 +8,7 @@ bounds), and ``affine.for``.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from ..ir.affine import AffineMap
 from ..ir.attributes import AffineMapAttr

@@ -7,14 +7,7 @@ from typing import Optional, Union
 from ..ir.attributes import FloatAttr, IntegerAttr, StringAttr, unwrap
 from ..ir.builder import Builder
 from ..ir.core import Commutative, Operation, Pure, Value, register_op
-from ..ir.types import (
-    F64,
-    FloatType,
-    I64,
-    IndexType,
-    IntegerType,
-    Type,
-)
+from ..ir.types import F64, FloatType, I64, IndexType, Type
 
 
 @register_op

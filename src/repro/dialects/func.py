@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from ..ir.attributes import StringAttr, SymbolRefAttr, TypeAttr
 from ..ir.builder import Builder

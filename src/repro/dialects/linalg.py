@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..ir.attributes import ArrayAttr, IntegerAttr, StringAttr, unwrap
+from ..ir.attributes import ArrayAttr, IntegerAttr, unwrap
 from ..ir.builder import Builder
 from ..ir.core import (
     Block,
@@ -21,7 +21,7 @@ from ..ir.core import (
     Value,
     register_op,
 )
-from ..ir.types import ShapedType, TensorType, Type
+from ..ir.types import ShapedType, Type
 
 
 @register_op

@@ -7,12 +7,11 @@ the struct-based memref descriptor manipulation ops.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from ..ir.attributes import SymbolRefAttr
 from ..ir.builder import Builder
 from ..ir.core import (
-    Block,
     IsTerminator,
     IsolatedFromAbove,
     Operation,

@@ -2,19 +2,12 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..ir.attributes import DenseIntAttr, unwrap
 from ..ir.builder import Builder
 from ..ir.core import Operation, Pure, Value, register_op
-from ..ir.types import (
-    DYNAMIC,
-    INDEX,
-    IndexType,
-    MemRefLayout,
-    MemRefType,
-    Type,
-)
+from ..ir.types import DYNAMIC, INDEX, MemRefLayout, MemRefType
 
 
 @register_op

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from ..ir.builder import Builder
 from ..ir.core import IsTerminator, Operation, Pure, Value, register_op

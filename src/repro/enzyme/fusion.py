@@ -13,7 +13,7 @@ cache-efficient.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from ..ir.core import Operation
 from ..ir.types import ShapedType

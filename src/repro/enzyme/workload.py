@@ -11,7 +11,6 @@ cluster.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..dialects import builtin, func
 from ..dialects import stablehlo as hlo

@@ -20,7 +20,7 @@ hard-coded per benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.core import Block, Operation, Value

@@ -8,12 +8,12 @@ buffers — the property-test backbone for every loop transformation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..ir.context import lookup_symbol
-from ..ir.core import Block, Operation, Value
+from ..ir.core import Block, Operation
 from ..ir.types import MemRefType
 
 

@@ -8,14 +8,14 @@ target), and the Fig. 1 uneven-loop function.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
 from ..dialects import arith, builtin, func, memref as memref_dialect, scf
 from ..ir.builder import Builder
 from ..ir.core import Operation, Value
-from ..ir.types import F64, INDEX, MemRefType, memref
+from ..ir.types import F64, memref
 
 
 def _matmul_body(builder: Builder, a: Value, b: Value, c: Value,

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .attributes import AttrLike
-from .core import Block, Operation, Region, Value
+from .core import Block, Operation, Value
 from .location import Location, UNKNOWN_LOC
 from .types import Type
 

@@ -21,14 +21,11 @@ from __future__ import annotations
 from typing import (
     Callable,
     Dict,
-    Iterable,
     Iterator,
     List,
     Optional,
     Sequence,
-    Tuple,
     Type as PyType,
-    Union,
 )
 
 from .attributes import Attribute, AttrLike, attr as make_attr

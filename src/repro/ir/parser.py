@@ -9,7 +9,7 @@ dialect prefix of ``!dialect.kind`` tokens.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .attributes import (
     ArrayAttr,

@@ -9,9 +9,9 @@ dynamic pre-/post-condition checking (§3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
-from ..ir.attributes import Attribute, DenseIntAttr, IntegerAttr, unwrap
+from ..ir.attributes import Attribute, DenseIntAttr, IntegerAttr
 from ..ir.core import Operation
 from ..ir.types import Type
 

@@ -11,12 +11,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..ir.core import Operation
-from ..ir.types import DYNAMIC
 from .defs import (
     AttributeDef,
     Cardinality,
     ConstraintViolation,
-    DenseCountConstraint,
     OperandDef,
     OperationDef,
     ResultDef,

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import List
 
-from ..ir.attributes import IntegerAttr
 from ..ir.core import Commutative, Operation, Pure
 from ..rewrite.greedy import FrozenPatternSet, apply_patterns_greedily
 from ..rewrite.pattern import PatternRewriter, RewritePattern, pattern

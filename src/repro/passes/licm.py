@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Set
 
-from ..ir.core import Operation, Pure, Value
+from ..ir.core import Operation, Pure
 from .manager import Pass, register_pass
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..ir.affine import AffineConstant, AffineDim, AffineExpr, AffineMap, AffineSymbol
-from ..ir.attributes import DenseIntAttr, StringAttr, SymbolRefAttr
+from ..ir.attributes import DenseIntAttr, SymbolRefAttr
 from ..ir.builder import Builder
 from ..ir.core import Block, Operation, Value
 from ..ir.types import (
@@ -39,7 +39,7 @@ from ..rewrite.conversion import (
     TypeConverter,
     apply_conversion,
 )
-from ..rewrite.pattern import PatternRewriter, pattern
+from ..rewrite.pattern import pattern
 from .manager import Pass, register_pass
 
 # ---------------------------------------------------------------------------

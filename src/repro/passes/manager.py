@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Type as PyType, Union
+from typing import Dict, List, Sequence, Type as PyType, Union
 
 from ..ir.core import Operation
 

@@ -10,11 +10,11 @@ linalg/arith/tensor ops with real region bodies.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..ir.builder import Builder
 from ..ir.core import Block, Operation, Value
-from ..ir.types import ShapedType, TensorType, Type
+from ..ir.types import ShapedType, TensorType
 from ..rewrite.conversion import ConversionTarget, apply_conversion
 from ..rewrite.greedy import FrozenPatternSet, apply_patterns_greedily
 from ..rewrite.pattern import PatternRewriter, pattern

@@ -9,9 +9,9 @@ order to keep handles valid across pattern application (paper §3.1).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence
 
-from ..ir.builder import Builder, InsertionPoint
+from ..ir.builder import Builder
 from ..ir.core import Block, Operation, Value
 
 

@@ -17,11 +17,22 @@ interpreter's exception barrier, and asserts the robustness invariants:
 * **stable classification** — regenerating and re-running a case from
   its seed reproduces the same outcome kind, message and payload print.
 
+With ``--differential``, every case additionally cross-checks the
+static analysis (:mod:`repro.analysis.invalidation`) against the
+observed dynamic semantics:
+
+* **static soundness** — a dynamic handle-invalidation error must be
+  predicted by at least one static issue (any severity; the coarse
+  may-alias warnings participate);
+* **static precision** — a schedule that executes cleanly must carry
+  zero *definite* (``error``-severity) static diagnostics.
+
 Every case is derived from a single ``(seed, index)`` pair, so a CI
 failure is reproducible locally with::
 
     python -m repro.testing.fuzz --seed N --cases M
     python -m repro.testing.fuzz --case-seed K   # one failing case
+    python -m repro.testing.fuzz --seed N --differential
 """
 
 from __future__ import annotations
@@ -198,6 +209,20 @@ class ScheduleFuzzer:
                     "transform.test.emit_silenceable",
                     attributes={"message": "fuzz-silenceable"},
                 )
+        if not self.safe and self.rng.random() < 0.25:
+            # Close the block with a guaranteed consume-then-use chain
+            # so use-after-consume (and the --differential soundness
+            # oracle) is exercised far more often than the 4%-slot
+            # above manages on its own.
+            if not consumed:
+                if not loops:
+                    loops.append(transform.match_op(
+                        builder, root, "scf.for", position="all"
+                    ))
+                self._loop_transform(builder, loops, consumed)
+            transform.annotate(
+                builder, self.rng.choice(consumed), "after_consume"
+            )
 
     def _loop_transform(self, builder: Builder, loops: List[Value],
                         consumed: List[Value]) -> None:
@@ -353,11 +378,54 @@ def _build_case(case_seed: int
     return payload, script, rollback, print_op(payload)
 
 
-def run_case(case_seed: int) -> Tuple[CaseOutcome, List[FuzzFailure]]:
+def _differential_check(case_seed: int, script: Operation,
+                        outcome: CaseOutcome,
+                        failures: List[FuzzFailure]) -> None:
+    """Cross-check the static analysis against the dynamic outcome.
+
+    Soundness: a dynamic invalidation error must have been predicted
+    (any severity — the worst-case may-alias warnings count).
+    Precision: a cleanly-executing schedule must carry no *definite*
+    (error-severity) static diagnostic.
+    """
+    from ..analysis.invalidation import ERROR, analyze_script
+
+    try:
+        issues = analyze_script(script, may_alias=True)
+    except Exception as error:  # pragma: no cover - a found bug
+        failures.append(FuzzFailure(
+            case_seed, "static-analysis-containment",
+            f"{type(error).__name__}: {error}\n"
+            + traceback.format_exc(limit=8),
+        ))
+        return
+    if outcome.kind == "definite" and "invalidated by" in outcome.message:
+        if not issues:
+            failures.append(FuzzFailure(
+                case_seed, "static-soundness",
+                f"dynamic invalidation error not predicted "
+                f"statically: {outcome.message}",
+            ))
+    if outcome.kind == "success":
+        definite = [i for i in issues if i.severity == ERROR]
+        if definite:
+            failures.append(FuzzFailure(
+                case_seed, "static-precision",
+                f"schedule executed cleanly but carries "
+                f"{len(definite)} definite static error(s), e.g. "
+                f"{definite[0]}",
+            ))
+
+
+def run_case(case_seed: int, differential: bool = False
+             ) -> Tuple[CaseOutcome, List[FuzzFailure]]:
     """Build and interpret one case twice, checking every invariant."""
     failures: List[FuzzFailure] = []
     payload, script, rollback, before = _build_case(case_seed)
     outcome = _interpret(payload, script)
+
+    if differential and outcome.kind != "crash":
+        _differential_check(case_seed, script, outcome, failures)
 
     if outcome.kind == "crash":
         failures.append(FuzzFailure(
@@ -408,12 +476,13 @@ def run_case(case_seed: int) -> Tuple[CaseOutcome, List[FuzzFailure]]:
     return outcome, failures
 
 
-def run_fuzz(seed: int = 0, cases: int = 200) -> FuzzReport:
+def run_fuzz(seed: int = 0, cases: int = 200,
+             differential: bool = False) -> FuzzReport:
     """Run ``cases`` fuzz cases derived from ``seed``."""
     report = FuzzReport(cases=cases)
     for index in range(cases):
         case_seed = seed * 1_000_003 + index
-        outcome, failures = run_case(case_seed)
+        outcome, failures = run_case(case_seed, differential)
         report.outcomes[outcome.kind] += 1
         report.failures.extend(failures)
     return report
@@ -439,17 +508,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--case-seed", type=int, default=None,
                         help="re-run a single case by its case-seed "
                         "(as printed in a failure report)")
+    parser.add_argument("--differential", action="store_true",
+                        help="cross-check the static invalidation "
+                        "analysis against the dynamic outcome of every "
+                        "case (soundness + precision oracle)")
     args = parser.parse_args(argv)
 
     if args.case_seed is not None:
-        outcome, failures = run_case(args.case_seed)
+        outcome, failures = run_case(args.case_seed, args.differential)
         print(f"case-seed {args.case_seed}: {outcome.kind}"
               + (f": {outcome.message}" if outcome.message else ""))
         for failure in failures:
             print(f"  {failure}")
         return 0 if not failures else 1
 
-    report = run_fuzz(args.seed, args.cases)
+    report = run_fuzz(args.seed, args.cases, args.differential)
     print(report.render())
     return 0 if report.ok else 1
 

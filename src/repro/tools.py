@@ -11,10 +11,15 @@ Usage from a shell::
     python -m repro.tools payload.mlir --script schedule.mlir
     python -m repro.tools payload.mlir --pipeline canonicalize,cse
     python -m repro.tools payload.mlir --script schedule.mlir --check
+    python -m repro.tools payload.mlir --script schedule.mlir --verify
 
 ``--check`` additionally runs the static script verification
 (invalidation analysis) and the static pipeline condition check before
-interpreting anything.
+interpreting anything, reporting plain strings. ``--verify`` runs the
+full ``repro-lint`` analysis suite instead and reports MLIR-style
+``error:``/``note:`` diagnostics (use site, consuming op, and — for
+``transform.include`` call sites — the in-body consumer) on stderr,
+aborting before interpretation when any error fires.
 """
 
 from __future__ import annotations
@@ -31,7 +36,6 @@ from .core.errors import TransformInterpreterError
 from .core.interpreter import TransformInterpreter
 from .core.invalidation import verify_script
 from .core.static_checker import check_transform_script
-from .ir.core import Operation
 from .ir.parser import parse
 from .ir.printer import print_op
 from .passes.manager import parse_pipeline
@@ -49,13 +53,16 @@ def transform_opt(
     final_allowed: Sequence[str] = ("llvm.*",),
     profiler=None,
     strict: bool = False,
+    verify: bool = False,
 ) -> str:
     """Apply a textual transform script to a textual payload.
 
     Returns the transformed payload in textual form. With ``check``,
     static script verification and the pipeline condition check run
-    first and abort on errors. ``profiler`` (a
-    :class:`repro.profiling.Profiler`) collects the timing report.
+    first and abort on errors (plain-string reporting); with
+    ``verify``, the full ``repro-lint`` suite runs instead, printing
+    MLIR-style ``error:``/``note:`` diagnostics to stderr. ``profiler``
+    (a :class:`repro.profiling.Profiler`) collects the timing report.
     Definite interpretation failures raise
     :class:`~repro.core.errors.TransformInterpreterError` whose message
     is the interpreter's MLIR-style ``error:``/``note:`` diagnostic
@@ -65,6 +72,22 @@ def transform_opt(
     payload = parse(payload_text, "<payload>")
     script = parse(script_text, "<script>")
 
+    if verify:
+        from .analysis.lint import lint_script
+
+        engine = lint_script(
+            script,
+            payload_specs=payload_op_specs(payload),
+            final_allowed=final_allowed,
+            entry_point=entry_point,
+        )
+        if engine.diagnostics:
+            print(engine.render(), file=sys.stderr)
+        if engine.has_errors():
+            raise ToolError(
+                f"static verification failed with "
+                f"{len(engine.errors)} error(s) (see diagnostics above)"
+            )
     if check:
         errors = verify_script(script)
         if errors:
@@ -111,6 +134,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="named sequence to run")
     parser.add_argument("--check", action="store_true",
                         help="run static checks before interpreting")
+    parser.add_argument("--verify", action="store_true",
+                        help="run the repro-lint static analysis suite "
+                        "before interpreting; report error:/note: "
+                        "diagnostics on stderr")
     parser.add_argument("--strict", action="store_true",
                         help="disable the exception barrier: crashes in "
                         "transform/pattern code propagate raw")
@@ -135,6 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = transform_opt(
                 payload_text, script_text, args.entry_point, args.check,
                 profiler=profiler, strict=args.strict,
+                verify=args.verify,
             )
         else:
             output = pipeline_opt(payload_text, args.pipeline,

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List
 
 from ..ir.builder import Builder
 from ..ir.core import Block, Operation, Value
-from ..ir.types import MemRefType, ShapedType, TensorType
+from ..ir.types import MemRefType, ShapedType
 from .loop import LoopTransformError
 
 
@@ -15,7 +15,6 @@ def generalize_named_op(op: Operation) -> Operation:
 
     The body mirrors the named op's contraction/elementwise semantics.
     """
-    from ..dialects import linalg
 
     body_ops = {
         "linalg.matmul": ("arith.mulf", "arith.addf"),

@@ -12,7 +12,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.builder import Builder
 from ..ir.core import Operation, Value
-from ..ir.types import IndexType
 
 
 class LoopTransformError(Exception):

@@ -16,7 +16,7 @@ substituted kernel computes exactly the tile the loops computed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..ir.builder import Builder

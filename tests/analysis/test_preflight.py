@@ -1,0 +1,74 @@
+"""Tests for the interpreter's static preflight gate."""
+
+import pytest
+
+from repro.core import dialect as transform
+from repro.core.errors import TransformInterpreterError
+from repro.core.interpreter import TransformInterpreter
+from repro.ir import Builder, Operation
+
+
+def empty_payload():
+    module = Operation.create("builtin.module", regions=1)
+    module.regions[0].add_block()
+    return module
+
+
+def double_unroll_script():
+    seq, builder, root = transform.sequence()
+    loop = transform.match_op(builder, root, "scf.for",
+                              position="first")
+    transform.loop_unroll(builder, loop, full=True)
+    transform.loop_unroll(builder, loop, full=True)
+    transform.yield_(builder)
+    return seq
+
+
+class TestPreflight:
+    def test_refuses_definite_static_errors_before_executing(self):
+        interpreter = TransformInterpreter(preflight=True)
+        with pytest.raises(TransformInterpreterError,
+                           match="preflight"):
+            interpreter.apply(double_unroll_script(), empty_payload())
+        # Nothing ran: the payload was never touched.
+        assert interpreter.stats.transforms_executed == 0
+        assert "refusing to execute" in \
+            interpreter.diagnostics.render()
+
+    def test_clean_script_executes_normally(self):
+        seq, builder, root = transform.sequence()
+        loop = transform.match_op(builder, root, "scf.for",
+                                  position="first")
+        transform.loop_unroll(builder, loop, full=True)
+        transform.yield_(builder)
+        interpreter = TransformInterpreter(preflight=True)
+        result = interpreter.apply(seq, empty_payload())
+        assert not result.is_definite
+
+    def test_off_by_default_same_script_fails_dynamically_or_not(self):
+        # Without preflight the double unroll is only caught when the
+        # handles are actually populated; on an empty payload the first
+        # match fails silenceably and nothing else runs.
+        interpreter = TransformInterpreter()
+        result = interpreter.apply(double_unroll_script(),
+                                   empty_payload())
+        assert result.is_silenceable
+
+    def test_warnings_do_not_block_execution(self):
+        # May-consumption (one alternatives region of two) is a static
+        # warning: preflight lets the script run; the dynamic layer
+        # still catches the real invalidation when region 1 wins.
+        seq, builder, root = transform.sequence()
+        handle = transform.match_op(builder, root, "scf.for")
+        alts = transform.alternatives(builder, 2)
+        r0 = Builder.at_end(alts.regions[0].entry_block)
+        transform.loop_unroll(r0, handle, full=True)
+        r1 = Builder.at_end(alts.regions[1].entry_block)
+        transform.annotate(r1, root, "fallback")
+        transform.print_(builder, handle, "after")
+        transform.yield_(builder)
+        interpreter = TransformInterpreter(preflight=True)
+        with pytest.raises(TransformInterpreterError) as excinfo:
+            interpreter.apply(seq, empty_payload())
+        assert "preflight" not in str(excinfo.value)
+        assert interpreter.stats.transforms_executed > 0

@@ -57,6 +57,16 @@ class TestTransformOpt:
         output = transform_opt(payload_text, script_text())
         parse(output).verify()
 
+    def test_verify_reports_mlir_style_diagnostics(self, payload_text,
+                                                   capsys):
+        with pytest.raises(ToolError,
+                           match="static verification failed"):
+            transform_opt(payload_text, script_text(with_error=True),
+                          verify=True)
+        err = capsys.readouterr().err
+        assert "uses an invalidated handle" in err
+        assert "note:" in err
+
 
 class TestPipelineOpt:
     def test_canonicalize(self, payload_text):
@@ -95,6 +105,17 @@ class TestCLI:
                      "--check"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_main_verify_failure_exit_code(self, payload_text,
+                                           tmp_path, capsys):
+        payload_file = tmp_path / "payload.mlir"
+        payload_file.write_text(payload_text)
+        script_file = tmp_path / "schedule.mlir"
+        script_file.write_text(script_text(with_error=True))
+        code = main([str(payload_file), "--script", str(script_file),
+                     "--verify"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
 
     def test_main_writes_output_file(self, payload_text, tmp_path):
         payload_file = tmp_path / "payload.mlir"

@@ -51,6 +51,36 @@ class TestFuzzInvariants:
         print_op(payload)  # payload is printable (verifies in module())
 
 
+class TestDifferentialFuzz:
+    def test_differential_invariants_hold(self):
+        report = run_fuzz(seed=5, cases=60, differential=True)
+        assert report.ok, report.render()
+
+    def test_oracle_sees_a_real_dynamic_invalidation(self):
+        """Case-seed 40 dynamically dies with a handle-invalidation
+        error (verified offline): the soundness oracle must accept it —
+        i.e. the static analysis predicted the invalidation."""
+        outcome, failures = run_case(40, differential=True)
+        assert outcome.kind == "definite"
+        assert "invalidated by" in outcome.message
+        assert not failures, failures
+
+    def test_generator_emits_use_after_consume_chains(self):
+        """The closing consume-then-use chain keeps the soundness
+        oracle exercised: dynamic invalidation errors must actually
+        occur across a modest sweep, or the oracle proves nothing."""
+        from repro.testing.fuzz import _build_case, _interpret
+
+        hits = 0
+        for case_seed in range(150):
+            payload, script, _rollback, _before = _build_case(case_seed)
+            outcome = _interpret(payload, script)
+            if outcome.kind == "definite" \
+                    and "invalidated by" in outcome.message:
+                hits += 1
+        assert hits >= 3
+
+
 class TestFuzzCli:
     def test_cli_smoke(self, capsys):
         assert main(["--seed", "3", "--cases", "20"]) == 0
@@ -61,3 +91,8 @@ class TestFuzzCli:
     def test_cli_single_case(self, capsys):
         assert main(["--case-seed", "1000044"]) == 0
         assert "case-seed 1000044" in capsys.readouterr().out
+
+    def test_cli_differential_smoke(self, capsys):
+        assert main(["--seed", "6", "--cases", "20",
+                     "--differential"]) == 0
+        assert "all invariants held" in capsys.readouterr().out
