@@ -1,0 +1,188 @@
+"""Compile-service throughput: workers, cache, and warm-path behavior.
+
+A 64-job batch (16 distinct compilations, each submitted 4 times — the
+shape of an autotuning sweep re-visiting its best candidates) runs
+
+* strictly sequentially in process (``workers=0``, no cache) — the
+  baseline;
+* through the pooled engine at 1 / 2 / 4 workers with a cold cache,
+  where single-flight deduplication and the content-addressed cache
+  collapse the duplicates to 16 executions;
+* once more against the already-warm cache, which must complete
+  without invoking the interpreter at all.
+
+Emits ``BENCH_service.json`` and asserts the PR's acceptance bars:
+>= 2.5x throughput at 4 workers vs sequential, zero executions on the
+warm run, and pooled output byte-identical to sequential.
+
+Run standalone (``python benchmarks/bench_service.py``) or through
+pytest (``pytest benchmarks/bench_service.py -s``).
+"""
+
+import json
+import os
+import sys
+import textwrap
+import time
+
+import repro.core  # noqa: F401 — registers transform ops
+import repro.dialects  # noqa: F401 — registers payload ops
+from repro.service import (
+    CompilationCache,
+    CompileEngine,
+    CompileJob,
+    JobStatus,
+)
+
+DISTINCT = 16
+REPEATS = 4
+
+SCHEDULE = textwrap.dedent("""
+    "transform.sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match_op"(%root) {names = ["scf.for"], position = "all"} : (!transform.any_op) -> !transform.any_op
+      "transform.loop.unroll"(%loops) {factor = 16 : i64} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : () -> ()
+""").strip()
+
+
+def _payload(index):
+    """Four unrollable loops; the trip count (always divisible by the
+    unroll factor) makes each payload a distinct compilation — a
+    distinct cache key — doing real body-duplication work."""
+    funcs = []
+    for f in range(4):
+        trip = 64 + 16 * index
+        funcs.append(textwrap.dedent(f"""
+          "func.func"() ({{
+            %lb = "arith.constant"() {{value = 0 : index}} : () -> index
+            %ub = "arith.constant"() {{value = {trip} : index}} : () -> index
+            %st = "arith.constant"() {{value = 1 : index}} : () -> index
+            "scf.for"(%lb, %ub, %st) ({{
+            ^bb0(%iv: index):
+              %a = "arith.constant"() {{value = 1.0 : f32}} : () -> f32
+              %b = "arith.constant"() {{value = 2.0 : f32}} : () -> f32
+              %c = "arith.addf"(%a, %b) : (f32, f32) -> f32
+              %d = "arith.mulf"(%c, %b) : (f32, f32) -> f32
+              %e = "arith.addf"(%d, %a) : (f32, f32) -> f32
+              "scf.yield"() : () -> ()
+            }}) : (index, index, index) -> ()
+            "func.return"() : () -> ()
+          }}) {{sym_name = "w{index}_f{f}", function_type = () -> ()}} : () -> ()
+        """).strip())
+    body = "\n".join(funcs)
+    return f'"builtin.module"() ({{\n{body}\n}}) : () -> ()'
+
+
+def _jobs():
+    """16 distinct payloads x 4 submissions, interleaved the way a
+    sweep would resubmit them (not back-to-back)."""
+    payloads = [_payload(i) for i in range(DISTINCT)]
+    return [
+        CompileJob(payload_text=payloads[i], script_text=SCHEDULE,
+                   job_id=f"job-{rep}-{i}")
+        for rep in range(REPEATS)
+        for i in range(DISTINCT)
+    ]
+
+
+def run_benchmark():
+    jobs = _jobs()
+    total = len(jobs)
+    report = {"batch_jobs": total, "distinct_jobs": DISTINCT,
+              "runs": {}}
+
+    # Baseline: one in-process interpreter invocation per job.
+    with CompileEngine(workers=0, cache=None, preflight=False) as engine:
+        start = time.perf_counter()
+        baseline = [engine.run_job(job) for job in jobs]
+        elapsed = time.perf_counter() - start
+        assert engine.stats.executed == total
+    # Clean successes only: a silenceable skip would mean the jobs do
+    # no real work and the benchmark measures nothing.
+    assert all(r.status is JobStatus.SUCCESS for r in baseline)
+    report["runs"]["sequential"] = {
+        "seconds": elapsed,
+        "jobs_per_second": total / elapsed,
+        "executed": total,
+    }
+    reference = {job.job_id: result.output
+                 for job, result in zip(jobs, baseline)}
+
+    warm_cache = None
+    for workers in (1, 2, 4):
+        cache = CompilationCache(capacity=2 * DISTINCT)
+        # Pool startup is engine construction, not steady-state
+        # throughput: build the engine outside the timed region.
+        with CompileEngine(workers=workers, cache=cache,
+                           preflight=False) as engine:
+            start = time.perf_counter()
+            results = engine.run_batch(jobs)
+            elapsed = time.perf_counter() - start
+            stats = engine.stats.as_dict()
+        assert all(r.ok for r in results)
+        for job, result in zip(jobs, results):
+            assert result.output == reference[job.job_id], (
+                f"pooled output diverged from sequential ({job.job_id})"
+            )
+        assert stats["executed"] == DISTINCT
+        report["runs"][f"pool_{workers}_cold"] = {
+            "seconds": elapsed,
+            "jobs_per_second": total / elapsed,
+            "executed": stats["executed"],
+            "cache_hits": stats["cache_hits"],
+            "coalesced": stats["coalesced"],
+            "speedup_vs_sequential":
+                report["runs"]["sequential"]["seconds"] / elapsed,
+        }
+        if workers == 4:
+            warm_cache = cache
+
+    # Fully warm: every job answered from the cache, interpreter idle.
+    with CompileEngine(workers=4, cache=warm_cache,
+                       preflight=False) as engine:
+        start = time.perf_counter()
+        results = engine.run_batch(jobs)
+        elapsed = time.perf_counter() - start
+        stats = engine.stats.as_dict()
+    assert all(r.ok and r.cache_hit for r in results)
+    assert stats["executed"] == 0, "warm run must not invoke the interpreter"
+    report["runs"]["pool_4_warm"] = {
+        "seconds": elapsed,
+        "jobs_per_second": total / elapsed,
+        "executed": 0,
+        "cache_hits": stats["cache_hits"],
+        "speedup_vs_sequential":
+            report["runs"]["sequential"]["seconds"] / elapsed,
+    }
+
+    report["speedup_4_workers"] = \
+        report["runs"]["pool_4_cold"]["speedup_vs_sequential"]
+    report["output_byte_identical"] = True
+    return report
+
+
+def test_service_throughput():
+    report = run_benchmark()
+    print(json.dumps(report, indent=2))
+    assert report["speedup_4_workers"] >= 2.5
+    assert report["runs"]["pool_4_warm"]["executed"] == 0
+
+
+def main():
+    report = run_benchmark()
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_service.json")
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out}")
+    if report["speedup_4_workers"] < 2.5:
+        print("FAIL: speedup at 4 workers below 2.5x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ from .attributes import (
     ArrayAttr,
     Attribute,
     BoolAttr,
+    DenseFloatAttr,
     DenseIntAttr,
     DictAttr,
     FloatAttr,
@@ -56,7 +57,7 @@ _TOKEN_RE = re.compile(
   | (?P<block>\^[A-Za-z0-9_$.\-]+)
   | (?P<symbol>@[A-Za-z0-9_$.\-]+)
   | (?P<typetok>![A-Za-z_][A-Za-z0-9_.$\-]*)
-  | (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+)
+  | (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+(?:[eE][-+]?\d+)?|-?(?:inf|nan)\b)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_.$\-]*)
   | (?P<punct>[()\[\]{}<>,:=*+]|\?)
     """,
@@ -385,7 +386,7 @@ class Parser:
             return StringAttr(_unescape(token.text[1:-1]))
         if token.kind == "number":
             self.advance()
-            if "." in token.text or "e" in token.text or "E" in token.text:
+            if _is_float_literal(token.text):
                 value: Attribute = FloatAttr(float(token.text))
                 if self.accept(":"):
                     value = FloatAttr(float(token.text), self.parse_type())
@@ -423,13 +424,23 @@ class Parser:
             self.advance()
             self.expect("<")
             self.expect("[")
-            ints: List[int] = []
+            literals: List[str] = []
             while not self.accept("]"):
-                ints.append(int(self.expect_kind("number").text))
+                literals.append(self.expect_kind("number").text)
                 self.accept(",")
             self.expect(">")
             self.expect(":")
-            return DenseIntAttr(tuple(ints), self.parse_type())
+            dense_type = self.parse_type()
+            element = getattr(dense_type, "element_type", None)
+            if isinstance(element, FloatType) or any(
+                _is_float_literal(lit) for lit in literals
+            ):
+                return DenseFloatAttr(
+                    tuple(float(lit) for lit in literals), dense_type
+                )
+            return DenseIntAttr(
+                tuple(int(lit) for lit in literals), dense_type
+            )
         # Fall back to a type attribute.
         return TypeAttr(self.parse_type())
 
@@ -560,6 +571,18 @@ class Parser:
         self.value_scope.pop()
         self.block_scope.pop()
         return blocks
+
+
+def _is_float_literal(text: str) -> bool:
+    """True for number tokens that denote floats (``1.5``, ``1e-30``,
+    ``inf``/``-inf``/``nan``), false for plain integers."""
+    return (
+        "." in text
+        or "e" in text
+        or "E" in text
+        or "inf" in text
+        or "nan" in text
+    )
 
 
 def _unescape(text: str) -> str:

@@ -10,6 +10,7 @@ from .profiler import (
     InvalidationStats,
     PatternStat,
     Profiler,
+    ServiceStats,
     TimedStat,
     WorklistStats,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "InvalidationStats",
     "PatternStat",
     "Profiler",
+    "ServiceStats",
     "TimedStat",
     "WorklistStats",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List
 
 
@@ -64,6 +64,42 @@ class InvalidationStats:
         return self.handles_invalidated / self.events if self.events else 0.0
 
 
+@dataclass
+class ServiceStats:
+    """Compile-service traffic (queue depth, jobs, cache, restarts).
+
+    Fed by :class:`repro.service.engine.CompileEngine` and the asyncio
+    frontier; ``jobs_by_status`` buckets finished jobs by their
+    :class:`~repro.service.engine.JobStatus` value.
+    """
+
+    jobs: int = 0
+    job_seconds: float = 0.0
+    max_job_seconds: float = 0.0
+    jobs_by_status: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    worker_restarts: int = 0
+    queue_samples: int = 0
+    queue_depth_sum: int = 0
+    max_queue_depth: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_job_seconds(self) -> float:
+        return self.job_seconds / self.jobs if self.jobs else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.queue_samples:
+            return 0.0
+        return self.queue_depth_sum / self.queue_samples
+
+
 class Profiler:
     """Collects timing/counter data from the transform hot paths."""
 
@@ -73,6 +109,7 @@ class Profiler:
         self.passes: Dict[str, TimedStat] = {}
         self.worklist = WorklistStats()
         self.invalidation = InvalidationStats()
+        self.service = ServiceStats()
 
     # -- recording entry points ---------------------------------------------
 
@@ -119,6 +156,31 @@ class Profiler:
     def record_invalidation(self, handles: int) -> None:
         self.invalidation.events += 1
         self.invalidation.handles_invalidated += handles
+
+    def record_service_job(self, status: str, seconds: float,
+                           cache_hit: bool) -> None:
+        service = self.service
+        service.jobs += 1
+        service.job_seconds += seconds
+        if seconds > service.max_job_seconds:
+            service.max_job_seconds = seconds
+        service.jobs_by_status[status] = (
+            service.jobs_by_status.get(status, 0) + 1
+        )
+        if cache_hit:
+            service.cache_hits += 1
+        else:
+            service.cache_misses += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        service = self.service
+        service.queue_samples += 1
+        service.queue_depth_sum += depth
+        if depth > service.max_queue_depth:
+            service.max_queue_depth = depth
+
+    def record_worker_restart(self) -> None:
+        self.service.worker_restarts += 1
 
     @contextmanager
     def time_pass(self, name: str) -> Iterator[None]:
@@ -196,6 +258,83 @@ class Profiler:
             )
             lines.append("")
 
+        service = self.service
+        if service.jobs or service.queue_samples:
+            lines.append("  Compile service")
+            by_status = "  ".join(
+                f"{status}: {count}"
+                for status, count in sorted(service.jobs_by_status.items())
+            )
+            lines.append(
+                f"    jobs: {service.jobs}  "
+                f"mean wall: {service.mean_job_seconds * 1e3:.3f} ms  "
+                f"max wall: {service.max_job_seconds * 1e3:.3f} ms"
+            )
+            if by_status:
+                lines.append(f"    by status: {by_status}")
+            lines.append(
+                f"    cache hit rate: {service.hit_rate:.1%}  "
+                f"(hits: {service.cache_hits}  "
+                f"misses: {service.cache_misses})  "
+                f"worker restarts: {service.worker_restarts}"
+            )
+            if service.queue_samples:
+                lines.append(
+                    f"    queue depth: mean "
+                    f"{service.mean_queue_depth:.2f}  "
+                    f"max {service.max_queue_depth}  "
+                    f"(samples: {service.queue_samples})"
+                )
+            lines.append("")
+
         if len(lines) == 3:
             lines.append("  (nothing recorded)")
         return "\n".join(lines).rstrip()
+
+    def to_json(self) -> Dict[str, object]:
+        """Machine-readable dump of every instrument (plain dicts and
+        numbers, ready for ``json.dump``)."""
+        service = self.service
+        return {
+            "transforms": {
+                name: {"count": s.count, "seconds": s.seconds}
+                for name, s in self.transforms.items()
+            },
+            "patterns": {
+                label: {
+                    "attempts": s.attempts,
+                    "applies": s.applies,
+                    "seconds": s.seconds,
+                }
+                for label, s in self.patterns.items()
+            },
+            "passes": {
+                name: {"count": s.count, "seconds": s.seconds}
+                for name, s in self.passes.items()
+            },
+            "worklist": {
+                "runs": self.worklist.runs,
+                "pushes": self.worklist.pushes,
+                "pops": self.worklist.pops,
+                "max_depth": self.worklist.max_depth,
+            },
+            "invalidation": {
+                "events": self.invalidation.events,
+                "handles_invalidated":
+                    self.invalidation.handles_invalidated,
+            },
+            "service": {
+                "jobs": service.jobs,
+                "jobs_by_status": dict(service.jobs_by_status),
+                "job_seconds": service.job_seconds,
+                "mean_job_seconds": service.mean_job_seconds,
+                "max_job_seconds": service.max_job_seconds,
+                "cache_hits": service.cache_hits,
+                "cache_misses": service.cache_misses,
+                "cache_hit_rate": service.hit_rate,
+                "worker_restarts": service.worker_restarts,
+                "queue_samples": service.queue_samples,
+                "mean_queue_depth": service.mean_queue_depth,
+                "max_queue_depth": service.max_queue_depth,
+            },
+        }

@@ -1,0 +1,47 @@
+"""`repro.service`: a concurrent, cached transform-compilation service.
+
+Batch transform-compilation on top of the interpreter stack built in
+PRs 1-3: jobs are (payload module, transform script, parameter
+bindings) triples shipped across process boundaries as *text* (the
+printer -> parser round-trip is the transport contract), executed on a
+``ProcessPoolExecutor`` worker pool, fronted by a content-addressed
+compilation cache and an asyncio admission queue with backpressure.
+
+Layers (each its own module):
+
+* :mod:`repro.service.cache` — SHA-256 content-addressed result cache,
+  in-memory LRU plus an optional on-disk store, with hit/miss/eviction
+  statistics;
+* :mod:`repro.service.worker` — the process-pool worker: parses,
+  binds parameters, interprets and prints entirely job-locally;
+* :mod:`repro.service.engine` — job scheduling: static preflight
+  rejection, in-flight deduplication, per-job timeouts, cancellation,
+  and retry-once crash containment over the worker pool;
+* :mod:`repro.service.sharding` — conservative per-function fan-out
+  used by ``repro-opt --jobs N``;
+* :mod:`repro.service.frontier` — the asyncio front-end (bounded
+  queue, backpressure) and the ``repro-batch`` CLI.
+"""
+
+from .cache import CachedResult, CacheStats, CompilationCache, cache_key
+from .engine import CompileEngine, CompileJob, JobResult, JobStatus
+from .frontier import ServiceFrontier
+from .sharding import is_func_shardable, reassemble_module, shard_payload
+from .worker import bind_parameters, compile_job
+
+__all__ = [
+    "CacheStats",
+    "CachedResult",
+    "CompilationCache",
+    "CompileEngine",
+    "CompileJob",
+    "JobResult",
+    "JobStatus",
+    "ServiceFrontier",
+    "bind_parameters",
+    "cache_key",
+    "compile_job",
+    "is_func_shardable",
+    "reassemble_module",
+    "shard_payload",
+]

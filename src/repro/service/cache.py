@@ -1,0 +1,215 @@
+"""Content-addressed compilation cache.
+
+A compilation is a pure function of (printed payload, printed script,
+parameter bindings, entry point); the cache keys on the SHA-256 of that
+tuple and stores the *printed* result module plus its outcome
+classification. Storage is a thread-safe in-memory LRU with an optional
+on-disk spill directory so warm results survive process restarts; disk
+hits are promoted back into memory.
+
+Only successful (or silenceable-with-output) compilations are cached —
+definite failures are cheap to reproduce and usually transient in a
+development loop, and caching them would mask fixes to transform code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+#: Parameter bindings: name -> int or list of ints (the values a
+#: ``transform.param.constant`` op can carry).
+ParamBindings = Mapping[str, Union[int, Sequence[int]]]
+
+
+def cache_key(payload_text: str, script_text: str,
+              params: Optional[ParamBindings] = None,
+              entry_point: Optional[str] = None) -> str:
+    """SHA-256 content address of one compilation job.
+
+    Parameters are serialized sorted by name so binding order never
+    changes the key.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(payload_text.encode())
+    hasher.update(b"\x00")
+    hasher.update(script_text.encode())
+    hasher.update(b"\x00")
+    if params:
+        canonical = sorted(
+            (str(k), list(v) if isinstance(v, (list, tuple)) else [v])
+            for k, v in params.items()
+        )
+        hasher.update(json.dumps(canonical).encode())
+    hasher.update(b"\x00")
+    if entry_point:
+        hasher.update(entry_point.encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction accounting, memory and disk tiers separately."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+    disk_hits: int = 0
+    disk_puts: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "disk_hits": self.disk_hits,
+            "disk_puts": self.disk_puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CachedResult:
+    """The cache value: a finished compilation.
+
+    ``status`` is the job classification string ("success" or
+    "silenceable"); ``output`` the printed result module;
+    ``diagnostics`` whatever warnings the run produced.
+    """
+
+    status: str
+    output: str
+    diagnostics: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "status": self.status,
+            "output": self.output,
+            "diagnostics": self.diagnostics,
+        })
+
+    @staticmethod
+    def from_json(text: str) -> "CachedResult":
+        data = json.loads(text)
+        return CachedResult(data["status"], data["output"],
+                            data.get("diagnostics", ""))
+
+
+@dataclass
+class _Entry:
+    result: CachedResult
+
+
+class CompilationCache:
+    """Thread-safe LRU over content-addressed compilation results.
+
+    ``capacity`` bounds the in-memory tier (entries, not bytes — result
+    modules are comparable in size for a given workload). ``disk_path``
+    enables the on-disk tier: one JSON file per key, written on every
+    put, consulted on memory misses.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 disk_path: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.disk_path = disk_path
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        if disk_path is not None:
+            os.makedirs(disk_path, exist_ok=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lookup / insert -----------------------------------------------------
+
+    def get(self, key: str) -> Optional[CachedResult]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.result
+            result = self._disk_get(key)
+            if result is not None:
+                # Promote: a disk hit is still a hit, and hot keys
+                # should not pay the file read twice.
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(key, result)
+                return result
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, result: CachedResult) -> None:
+        with self._lock:
+            self.stats.puts += 1
+            self._insert(key, result)
+            self._disk_put(key, result)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and the disk tier with ``disk=True``)."""
+        with self._lock:
+            self._entries.clear()
+            if disk and self.disk_path is not None:
+                for name in os.listdir(self.disk_path):
+                    if name.endswith(".json"):
+                        os.unlink(os.path.join(self.disk_path, name))
+
+    # -- internals -----------------------------------------------------------
+
+    def _insert(self, key: str, result: CachedResult) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = _Entry(result)
+            return
+        self._entries[key] = _Entry(result)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_file(self, key: str) -> str:
+        return os.path.join(self.disk_path, f"{key}.json")
+
+    def _disk_get(self, key: str) -> Optional[CachedResult]:
+        if self.disk_path is None:
+            return None
+        path = self._disk_file(key)
+        try:
+            with open(path) as handle:
+                return CachedResult.from_json(handle.read())
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _disk_put(self, key: str, result: CachedResult) -> None:
+        if self.disk_path is None:
+            return
+        path = self._disk_file(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(result.to_json())
+            os.replace(tmp, path)
+            self.stats.disk_puts += 1
+        except OSError:
+            # Disk tier is best-effort; memory tier already holds it.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,452 @@
+"""Job scheduling over the worker pool.
+
+The engine takes :class:`CompileJob`\\ s and produces
+:class:`JobResult`\\ s, layering — in lookup order, cheapest first:
+
+1. **static preflight** — scripts with definite static errors (the
+   ``repro-lint`` analysis suite) are rejected in the front-end before
+   a worker is ever occupied; the verdict is memoized per script text
+   so a schedule library is linted once, not once per job;
+2. **content-addressed cache** — see :mod:`repro.service.cache`;
+3. **in-flight deduplication (single-flight)** — concurrent jobs with
+   the same content key share one execution: followers wait on the
+   leader's result instead of occupying a second worker;
+4. **the pool** — a ``ProcessPoolExecutor``; IR crosses the process
+   boundary as text. Per-job timeouts abandon the in-flight future
+   (TIMEOUT), a worker crash (``BrokenProcessPool``) restarts the pool
+   and retries the job once (then CRASHED), mirroring the PR 2
+   silenceable / definite / crash classification one level up.
+
+``workers=0`` runs jobs in-process, strictly sequentially, through the
+*same* worker function — the reference semantics pooled execution must
+reproduce byte-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, TimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures.thread import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .cache import CachedResult, CompilationCache, cache_key
+from .worker import _ensure_registered, compile_job
+
+ParamBindings = Mapping[str, Union[int, Sequence[int]]]
+
+_job_ids = itertools.count()
+
+
+class JobStatus(enum.Enum):
+    """Terminal classification of one job, ordered roughly by severity."""
+
+    SUCCESS = "success"
+    #: Compiled, but the script reported a silenceable failure.
+    SILENCEABLE = "silenceable"
+    #: The interpreter aborted with a definite error.
+    DEFINITE = "definite"
+    #: Refused by static preflight before reaching a worker.
+    REJECTED = "rejected"
+    #: The worker process died (twice, when retry is enabled).
+    CRASHED = "crashed"
+    #: The per-job deadline elapsed; the in-flight future was abandoned.
+    TIMEOUT = "timeout"
+    #: Cancelled before a worker picked it up.
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class CompileJob:
+    """One (payload module, transform script, parameter bindings) job.
+
+    Both IR inputs are *text*; ``params`` override
+    ``transform.param.constant`` ops carrying a matching ``binding``
+    attribute (see :func:`repro.service.worker.bind_parameters`).
+    """
+
+    payload_text: str
+    script_text: str
+    params: Optional[ParamBindings] = None
+    entry_point: Optional[str] = None
+    #: Per-job deadline in seconds (None = engine default).
+    timeout: Optional[float] = None
+    job_id: str = field(
+        default_factory=lambda: f"job-{next(_job_ids)}"
+    )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job, with enough telemetry for the metrics layer."""
+
+    job_id: str
+    status: JobStatus
+    #: Printed transformed payload (None unless SUCCESS/SILENCEABLE).
+    output: Optional[str] = None
+    #: Rendered diagnostics (warnings, error chains, crash report).
+    diagnostics: str = ""
+    #: Content address of the job (shared by coalesced duplicates).
+    key: str = ""
+    cache_hit: bool = False
+    #: The job waited on another in-flight execution of the same key.
+    coalesced: bool = False
+    #: Worker-side parse+interpret+print seconds (0.0 for cache hits).
+    worker_seconds: float = 0.0
+    #: End-to-end seconds inside the engine (queueing included).
+    wall_seconds: float = 0.0
+    #: Pool executions attempted (2 = retried after a worker crash).
+    attempts: int = 0
+    #: Interpreter counters from the worker (empty for cache hits).
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (JobStatus.SUCCESS, JobStatus.SILENCEABLE)
+
+
+@dataclass
+class EngineStats:
+    """Aggregate engine accounting (monotonic; thread-safe under the
+    engine's bookkeeping lock)."""
+
+    submitted: int = 0
+    completed: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    rejected: int = 0
+    crashes: int = 0
+    worker_restarts: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class CompileEngine:
+    """Schedules compile jobs over a process pool with caching.
+
+    Thread-safe: :meth:`run_job` may be called concurrently from many
+    dispatcher threads (the asyncio frontier does exactly that).
+    """
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[CompilationCache] = None,
+                 preflight: bool = True,
+                 job_timeout: Optional[float] = None,
+                 retry_crashed: bool = True,
+                 normalize_keys: bool = True,
+                 strict: bool = False,
+                 profiler=None,
+                 mp_context: Optional[str] = None):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.cache = cache
+        self.preflight = preflight
+        self.job_timeout = job_timeout
+        self.retry_crashed = retry_crashed
+        #: Hash the *printed* (parse -> print normalized) payload and
+        #: script so formatting differences cannot split the cache.
+        self.normalize_keys = normalize_keys
+        self.strict = strict
+        #: Optional :class:`repro.profiling.Profiler`; the engine feeds
+        #: its service section (per-job wall time, cache traffic,
+        #: restarts) alongside whatever the workers record locally.
+        self.profiler = profiler
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._pool_lock = threading.Lock()
+        self._book_lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        #: script text -> (ok, rendered diagnostics); the preflight memo.
+        self._script_gate: Dict[str, Tuple[bool, str]] = {}
+        #: raw text -> normalized text memo for key normalization.
+        self._normalized: Dict[str, str] = {}
+        self._cancelled = threading.Event()
+        self.stats = EngineStats()
+        if workers > 0:
+            # Create the pool eagerly, before any dispatcher threads
+            # exist — fork-after-thread is where pools get fragile.
+            self._ensure_pool()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        context = None
+        if self._mp_context is not None:
+            context = multiprocessing.get_context(self._mp_context)
+        elif "fork" in multiprocessing.get_all_start_methods():
+            # Children inherit the op registries (and any test-local
+            # transform ops) instead of re-importing under spawn.
+            context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_ensure_registered,
+        )
+
+    def _ensure_pool(self) -> Tuple[ProcessPoolExecutor, int]:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool, self._pool_generation
+
+    def _restart_pool(self, seen_generation: int) -> None:
+        """Replace a broken pool; no-op if another thread already did."""
+        with self._pool_lock:
+            if self._pool_generation != seen_generation:
+                return
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = self._make_pool()
+            self._pool_generation += 1
+        with self._book_lock:
+            self.stats.worker_restarts += 1
+        if self.profiler is not None:
+            self.profiler.record_worker_restart()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._cancelled.set()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait, cancel_futures=True)
+                self._pool = None
+
+    def __enter__(self) -> "CompileEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- front-end stages ----------------------------------------------------
+
+    def _normalize(self, text: str, filename: str) -> str:
+        memo = self._normalized.get(text)
+        if memo is not None:
+            return memo
+        from ..ir.parser import parse
+        from ..ir.printer import print_op
+
+        normalized = print_op(parse(text, filename))
+        with self._book_lock:
+            self._normalized[text] = normalized
+        return normalized
+
+    def _check_script(self, script_text: str,
+                      entry_point: Optional[str]) -> Tuple[bool, str]:
+        """Static gate, memoized per script text: (ok, diagnostics)."""
+        gate_key = f"{entry_point or ''}\x00{script_text}"
+        memo = self._script_gate.get(gate_key)
+        if memo is not None:
+            return memo
+        from ..analysis.lint import lint_script
+        from ..ir.parser import parse
+
+        _ensure_registered()
+        try:
+            script = parse(script_text, "<script>")
+        except Exception as error:
+            verdict = (False, f"error: script does not parse: {error}")
+        else:
+            engine = lint_script(script, entry_point=entry_point)
+            if engine.has_errors():
+                verdict = (False, engine.render())
+            else:
+                verdict = (True, "")
+        with self._book_lock:
+            self._script_gate[gate_key] = verdict
+        return verdict
+
+    # -- execution -----------------------------------------------------------
+
+    def run_job(self, job: CompileJob) -> JobResult:
+        """Run one job through preflight -> cache -> pool; blocking."""
+        start = time.perf_counter()
+        with self._book_lock:
+            self.stats.submitted += 1
+        result = self._run_job_inner(job, start)
+        result.wall_seconds = time.perf_counter() - start
+        with self._book_lock:
+            self.stats.completed += 1
+        if self.profiler is not None:
+            self.profiler.record_service_job(
+                result.status.value, result.wall_seconds, result.cache_hit
+            )
+        return result
+
+    def _run_job_inner(self, job: CompileJob,
+                       start: float) -> JobResult:
+        if self._cancelled.is_set():
+            with self._book_lock:
+                self.stats.cancelled += 1
+            return JobResult(job.job_id, JobStatus.CANCELLED)
+
+        payload_text = job.payload_text
+        script_text = job.script_text
+        if self.normalize_keys:
+            try:
+                payload_text = self._normalize(payload_text, "<payload>")
+                script_text = self._normalize(script_text, "<script>")
+            except Exception as error:
+                with self._book_lock:
+                    self.stats.rejected += 1
+                return JobResult(
+                    job.job_id, JobStatus.REJECTED,
+                    diagnostics=f"error: input does not parse: {error}",
+                )
+
+        if self.preflight:
+            ok, diagnostics = self._check_script(
+                script_text, job.entry_point
+            )
+            if not ok:
+                with self._book_lock:
+                    self.stats.rejected += 1
+                return JobResult(
+                    job.job_id, JobStatus.REJECTED,
+                    diagnostics=diagnostics,
+                )
+
+        key = cache_key(payload_text, script_text, job.params,
+                        job.entry_point)
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                with self._book_lock:
+                    self.stats.cache_hits += 1
+                return JobResult(
+                    job.job_id, JobStatus(cached.status),
+                    output=cached.output,
+                    diagnostics=cached.diagnostics,
+                    key=key, cache_hit=True,
+                )
+
+        # Single-flight: concurrent identical jobs share one execution.
+        leader = False
+        with self._book_lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = Future()
+                self._inflight[key] = flight
+                leader = True
+        if not leader:
+            result: JobResult = flight.result()
+            with self._book_lock:
+                self.stats.coalesced += 1
+            follower = JobResult(
+                job.job_id, result.status, output=result.output,
+                diagnostics=result.diagnostics, key=key,
+                coalesced=True, worker_seconds=result.worker_seconds,
+                attempts=result.attempts, stats=dict(result.stats),
+            )
+            return follower
+
+        try:
+            result = self._execute(job, key, payload_text, script_text)
+            if self.cache is not None and result.ok:
+                self.cache.put(key, CachedResult(
+                    result.status.value, result.output or "",
+                    result.diagnostics,
+                ))
+        except BaseException as error:
+            flight.set_exception(error)
+            raise
+        else:
+            flight.set_result(result)
+        finally:
+            with self._book_lock:
+                self._inflight.pop(key, None)
+        return result
+
+    def _execute(self, job: CompileJob, key: str, payload_text: str,
+                 script_text: str) -> JobResult:
+        """Actually run the job on a worker (or inline), with timeout
+        handling and retry-once crash containment."""
+        timeout = job.timeout if job.timeout is not None else self.job_timeout
+        max_attempts = 2 if (self.retry_crashed and self.workers > 0) else 1
+        attempts = 0
+        while True:
+            attempts += 1
+            if self.workers == 0:
+                raw = compile_job(
+                    payload_text, script_text, job.params,
+                    job.entry_point, strict=self.strict,
+                )
+            else:
+                pool, generation = self._ensure_pool()
+                future = pool.submit(
+                    compile_job, payload_text, script_text, job.params,
+                    job.entry_point, self.strict,
+                )
+                try:
+                    raw = future.result(timeout=timeout)
+                except TimeoutError:
+                    future.cancel()
+                    with self._book_lock:
+                        self.stats.timeouts += 1
+                    return JobResult(
+                        job.job_id, JobStatus.TIMEOUT, key=key,
+                        diagnostics=(
+                            f"error: job exceeded its {timeout:g}s "
+                            "deadline; in-flight worker abandoned"
+                        ),
+                        attempts=attempts,
+                    )
+                except BrokenProcessPool as error:
+                    with self._book_lock:
+                        self.stats.crashes += 1
+                    self._restart_pool(generation)
+                    if attempts < max_attempts:
+                        continue
+                    return JobResult(
+                        job.job_id, JobStatus.CRASHED, key=key,
+                        diagnostics=(
+                            "error: worker process died while "
+                            f"compiling this job (x{attempts}): {error}"
+                        ),
+                        attempts=attempts,
+                    )
+                except Exception as error:
+                    # Infrastructure failure outside the worker barrier
+                    # (e.g. unpicklable input): classify, don't crash
+                    # the service.
+                    return JobResult(
+                        job.job_id, JobStatus.DEFINITE, key=key,
+                        diagnostics=(
+                            f"error: {type(error).__name__}: {error}"
+                        ),
+                        attempts=attempts,
+                    )
+            with self._book_lock:
+                self.stats.executed += 1
+            return JobResult(
+                job.job_id, JobStatus(raw["status"]),
+                output=raw["output"], diagnostics=raw["diagnostics"],
+                key=key, worker_seconds=raw["wall_seconds"],
+                attempts=attempts, stats=dict(raw["stats"]),
+            )
+
+    def run_batch(self, jobs: Sequence[CompileJob]) -> List[JobResult]:
+        """Run a batch; results come back in submission order.
+
+        With ``workers=0`` the batch runs strictly sequentially in
+        process; otherwise a small dispatcher thread per worker feeds
+        the pool so distinct jobs overlap and duplicate jobs coalesce.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        if self.workers == 0:
+            return [self.run_job(job) for job in jobs]
+        dispatchers = min(len(jobs), max(2 * self.workers, 2))
+        with ThreadPoolExecutor(max_workers=dispatchers) as dispatch:
+            return list(dispatch.map(self.run_job, jobs))

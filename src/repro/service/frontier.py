@@ -1,0 +1,328 @@
+"""The asyncio front-end and the ``repro-batch`` CLI.
+
+:class:`ServiceFrontier` is the admission layer of the compile
+service: a bounded ``asyncio.Queue`` in front of the engine. Producers
+``await submit(...)`` — when the queue is full they block, which *is*
+the backpressure mechanism: admission slows to the rate workers drain
+the queue instead of buffering unboundedly. A small set of dispatcher
+tasks pops jobs and runs :meth:`CompileEngine.run_job` on a private
+thread pool (the engine call blocks on the process pool; threads keep
+the event loop free).
+
+``repro-batch`` compiles a directory of payload modules against a
+schedule library through the frontier::
+
+    repro-batch payloads/ --schedule schedules/tile.mlir --jobs 4 \\
+        --cache-dir .repro-cache --timing --json metrics.json -o out/
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from .cache import CompilationCache
+from .engine import CompileEngine, CompileJob, JobResult
+
+_SENTINEL = None
+
+
+class ServiceFrontier:
+    """Bounded-queue asyncio admission layer over a
+    :class:`~repro.service.engine.CompileEngine`.
+
+    Use as an async context manager::
+
+        async with ServiceFrontier(engine, max_queue=32) as frontier:
+            results = await asyncio.gather(
+                *(frontier.submit(job) for job in jobs)
+            )
+    """
+
+    def __init__(self, engine: CompileEngine, max_queue: int = 64,
+                 dispatchers: Optional[int] = None):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.engine = engine
+        self.max_queue = max_queue
+        self.dispatchers = dispatchers or max(engine.workers, 1)
+        self._queue: Optional[asyncio.Queue] = None
+        self._tasks: List[asyncio.Task] = []
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._depth = 0
+        self._depth_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def __aenter__(self) -> "ServiceFrontier":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        if self._queue is not None:
+            return
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.dispatchers,
+            thread_name_prefix="repro-dispatch",
+        )
+        self._tasks = [
+            asyncio.create_task(self._dispatch(), name=f"dispatch-{i}")
+            for i in range(self.dispatchers)
+        ]
+
+    async def close(self) -> None:
+        """Drain the queue, stop dispatchers, release the thread pool."""
+        if self._queue is None:
+            return
+        for _ in self._tasks:
+            await self._queue.put(_SENTINEL)
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+        self._queue = None
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._depth_lock:
+            return self._depth
+
+    async def submit(self, job: CompileJob) -> JobResult:
+        """Admit one job and await its result.
+
+        Blocks (asynchronously) while the queue is full — backpressure
+        propagates to the producer rather than growing a buffer.
+        """
+        if self._queue is None:
+            raise RuntimeError("frontier is not started")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put((job, future))
+        with self._depth_lock:
+            self._depth += 1
+            depth = self._depth
+        if self.engine.profiler is not None:
+            self.engine.profiler.record_queue_depth(depth)
+        return await future
+
+    async def run(self, jobs: Sequence[CompileJob]) -> List[JobResult]:
+        """Submit all jobs (respecting backpressure) and gather results
+        in submission order."""
+        return list(await asyncio.gather(
+            *(self.submit(job) for job in jobs)
+        ))
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        loop = asyncio.get_running_loop()
+        assert self._queue is not None
+        while True:
+            item = await self._queue.get()
+            if item is _SENTINEL:
+                return
+            job, future = item
+            with self._depth_lock:
+                self._depth -= 1
+            if future.cancelled():
+                continue
+            try:
+                result = await loop.run_in_executor(
+                    self._threads, self.engine.run_job, job
+                )
+            except Exception as error:  # defensive: surface, don't hang
+                if not future.cancelled():
+                    future.set_exception(error)
+                continue
+            if not future.cancelled():
+                future.set_result(result)
+
+
+# ---------------------------------------------------------------------------
+# repro-batch CLI
+# ---------------------------------------------------------------------------
+
+
+def _collect(path: str, suffix: str = ".mlir") -> List[str]:
+    if os.path.isfile(path):
+        return [path]
+    if not os.path.isdir(path):
+        raise FileNotFoundError(path)
+    return sorted(
+        os.path.join(path, name)
+        for name in os.listdir(path)
+        if name.endswith(suffix)
+    )
+
+
+def _parse_params(items: Optional[List[str]]) -> Optional[dict]:
+    if not items:
+        return None
+    params = {}
+    for item in items:
+        name, _, raw = item.partition("=")
+        if not _:
+            raise ValueError(f"--param expects name=value, got {item!r}")
+        values = [int(v) for v in raw.split(",")]
+        params[name] = values[0] if len(values) == 1 else values
+    return params
+
+
+def _stem(path: str) -> str:
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+async def _run_batch(frontier: ServiceFrontier,
+                     jobs: Sequence[CompileJob]) -> List[JobResult]:
+    async with frontier:
+        return await frontier.run(jobs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-batch",
+        description="compile a directory of payload modules against a "
+        "schedule library on a cached worker pool",
+    )
+    parser.add_argument("payloads",
+                        help="payload IR file or directory of .mlir files")
+    parser.add_argument("--schedule", action="append", required=True,
+                        metavar="FILE_OR_DIR",
+                        help="transform script file or directory "
+                        "(repeatable; every payload is compiled "
+                        "against every schedule)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = in-process "
+                        "sequential; default 1)")
+    parser.add_argument("--queue-size", type=int, default=64,
+                        help="admission queue bound (backpressure "
+                        "threshold; default 64)")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="in-memory cache entries (default 256)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk cache directory (off by default)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the compilation cache")
+    parser.add_argument("--no-preflight", action="store_true",
+                        help="skip the static lint gate")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job deadline in seconds")
+    parser.add_argument("--entry-point", default=None,
+                        help="named sequence to run")
+    parser.add_argument("--param", action="append", default=None,
+                        metavar="NAME=VALUE",
+                        help="parameter binding applied to every job "
+                        "(repeatable; VALUE may be a comma list)")
+    parser.add_argument("-o", "--output-dir", default=None,
+                        help="write each result module here "
+                        "(<payload>.<schedule>.mlir)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write machine-readable metrics here")
+    parser.add_argument("--timing", action="store_true",
+                        help="print the -mlir-timing-style service "
+                        "report to stderr")
+    args = parser.parse_args(argv)
+
+    try:
+        payload_files = _collect(args.payloads)
+        schedule_files = [
+            path
+            for entry in args.schedule
+            for path in _collect(entry)
+        ]
+        params = _parse_params(args.param)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not payload_files or not schedule_files:
+        print("error: no payloads or no schedules found", file=sys.stderr)
+        return 2
+
+    from ..profiling import Profiler
+
+    profiler = Profiler()
+    cache = None
+    if not args.no_cache:
+        cache = CompilationCache(capacity=args.cache_size,
+                                 disk_path=args.cache_dir)
+    engine = CompileEngine(
+        workers=args.jobs,
+        cache=cache,
+        preflight=not args.no_preflight,
+        job_timeout=args.timeout,
+        profiler=profiler,
+    )
+
+    pairs: List[Tuple[str, str]] = [
+        (payload, schedule)
+        for payload in payload_files
+        for schedule in schedule_files
+    ]
+    jobs = [
+        CompileJob(
+            payload_text=open(payload).read(),
+            script_text=open(schedule).read(),
+            params=params,
+            entry_point=args.entry_point,
+            job_id=f"{_stem(payload)}.{_stem(schedule)}",
+        )
+        for payload, schedule in pairs
+    ]
+
+    frontier = ServiceFrontier(engine, max_queue=args.queue_size)
+    try:
+        results = asyncio.run(_run_batch(frontier, jobs))
+    finally:
+        engine.shutdown()
+
+    failures = 0
+    if args.output_dir is not None:
+        os.makedirs(args.output_dir, exist_ok=True)
+    for result in results:
+        tag = result.status.value + (" (cached)" if result.cache_hit else "")
+        print(f"{result.job_id}: {tag}")
+        if result.ok and args.output_dir is not None:
+            out = os.path.join(args.output_dir,
+                               f"{result.job_id}.mlir")
+            with open(out, "w") as handle:
+                handle.write((result.output or "") + "\n")
+        if not result.ok:
+            failures += 1
+            if result.diagnostics:
+                print(result.diagnostics, file=sys.stderr)
+
+    counts = {}
+    for result in results:
+        counts[result.status.value] = counts.get(result.status.value, 0) + 1
+    summary = "  ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    print(f"{len(results)} job(s)  {summary}")
+
+    if args.timing:
+        print(profiler.render(), file=sys.stderr)
+    if args.json is not None:
+        metrics = {
+            "jobs": len(results),
+            "by_status": counts,
+            "engine": engine.stats.as_dict(),
+            "cache": cache.stats.as_dict() if cache is not None else None,
+            "profiler": profiler.to_json(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(metrics, handle, indent=2)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

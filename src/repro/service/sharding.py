@@ -1,0 +1,138 @@
+"""Per-function fan-out for ``repro-opt --jobs N``.
+
+A payload module whose top level is nothing but ``func.func`` ops can
+be compiled one function per job — *if* the schedule provably
+distributes over functions. :func:`is_func_shardable` is the
+conservative gate: every op in the entry sequence must come from a
+whitelist of transforms whose effect is local to each matched payload
+op (navigation, annotation, loop restructuring, greedy pattern
+application), and every ``transform.match_op`` must select *all*
+matches — positional selection (``first``/``last``) is inherently
+whole-module.
+
+Silenceable failures are also whole-module state (they skip the rest
+of the enclosing block for *every* function), so the ``--jobs`` driver
+falls back to a sequential whole-module run the moment any shard
+reports anything but clean success. The contract — enforced by test —
+is that fan-out output is byte-identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ir.core import Operation
+
+#: Transforms whose payload effect distributes over disjoint functions.
+SHARDABLE_OPS = frozenset({
+    "transform.sequence",
+    "transform.yield",
+    "transform.match_op",
+    "transform.get_parent_op",
+    "transform.select",
+    "transform.cast",
+    "transform.merge_handles",
+    "transform.annotate",
+    "transform.param.constant",
+    "transform.loop.tile",
+    "transform.loop.split",
+    "transform.loop.unroll",
+    "transform.loop.interchange",
+    "transform.loop.hoist",
+    "transform.loop.vectorize",
+    "transform.loop.peel",
+    "transform.structured.generalize",
+    "transform.structured.lower_to_loops",
+    "transform.apply_patterns",
+})
+
+
+def _entry_sequence(script: Operation) -> Optional[Operation]:
+    """The unnamed entry ``transform.sequence``, mirroring the
+    interpreter's discovery — None when the script carries macros or
+    named entry points (those may be matched positionally or included
+    with module-scoped arguments, so sharding stays out)."""
+    if script.name == "transform.sequence":
+        return script
+    if script.name != "builtin.module":
+        return None
+    entry: Optional[Operation] = None
+    for block in script.regions[0].blocks:
+        for op in block.ops:
+            if op.name == "transform.named_sequence":
+                return None
+            if op.name == "transform.sequence":
+                if entry is not None:
+                    return None
+                entry = op
+    return entry
+
+
+def is_func_shardable(script: Operation) -> bool:
+    """True when the schedule provably distributes over functions."""
+    entry = _entry_sequence(script)
+    if entry is None:
+        return False
+    for op in entry.walk():
+        if op is entry:
+            continue
+        if op.name.startswith("transform.pattern."):
+            continue  # apply_patterns body markers
+        if op.name not in SHARDABLE_OPS:
+            return False
+        if op.name == "transform.match_op":
+            position = op.attr("position")
+            if position is not None and \
+                    getattr(position, "value", "all") != "all":
+                return False
+    return True
+
+
+def shard_payload(payload: Operation) -> Optional[List[Operation]]:
+    """Split a module into one single-function module per top-level
+    func; None when the top level holds anything but ``func.func``
+    (globals and declarations would need duplicating into every shard,
+    which stops the reassembled output being byte-identical)."""
+    if payload.name != "builtin.module":
+        return None
+    tops = list(payload.regions[0].entry_block.ops)
+    if len(tops) < 2:
+        return None
+    if any(op.name != "func.func" for op in tops):
+        return None
+    for function in tops:
+        for op in function.walk():
+            if op.name in ("func.call", "llvm.call"):
+                # Cross-function references don't survive splitting.
+                return None
+    from ..dialects import builtin
+
+    shards: List[Operation] = []
+    for function in tops:
+        shard = builtin.module()
+        shard.attributes.update(payload.attributes)
+        shard.body.append(function.clone())
+        shards.append(shard)
+    return shards
+
+
+def reassemble_module(payload: Operation,
+                      shard_texts: List[str]) -> str:
+    """Splice transformed shard modules back into one module.
+
+    The shards' functions are re-parented into a fresh module carrying
+    the original module attributes, in the original function order, and
+    the whole thing is printed once — so SSA value numbering is
+    assigned globally exactly as a whole-module run would have."""
+    from ..dialects import builtin
+    from ..ir.parser import parse
+    from ..ir.printer import print_op
+
+    result = builtin.module()
+    result.attributes.update(payload.attributes)
+    for index, text in enumerate(shard_texts):
+        shard = parse(text, f"<shard {index}>")
+        for op in list(shard.regions[0].entry_block.ops):
+            result.body.append(op)
+    result.verify()
+    return print_op(result)

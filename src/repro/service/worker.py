@@ -1,0 +1,132 @@
+"""The process-pool worker: one fully job-local compilation.
+
+IR crosses the process boundary as text in both directions — the
+printer -> parser round-trip is the transport contract (property-tested
+in ``tests/ir/test_roundtrip_property.py``). Everything mutable the
+compilation touches (parser, transform state, interpreter, diagnostics,
+profiler counters) is created fresh inside :func:`compile_job`, so a
+worker process can execute any number of jobs sequentially and each
+behaves exactly like a standalone ``repro-opt`` invocation: pooled and
+sequential runs produce byte-identical output and identical stats.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+from ..ir.attributes import StringAttr
+from ..ir.core import Operation
+
+ParamBindings = Mapping[str, Union[int, Sequence[int]]]
+
+
+def _ensure_registered() -> None:
+    """Import the op/pass registries (idempotent; needed when the pool
+    uses the ``spawn`` start method and children start blank)."""
+    import repro.core  # noqa: F401 — registers transform ops
+    import repro.dialects  # noqa: F401 — registers payload ops
+    import repro.passes  # noqa: F401 — registers passes
+
+
+def bind_parameters(script: Operation, params: ParamBindings) -> int:
+    """Override named ``transform.param.constant`` ops with ``params``.
+
+    A param op opts into binding by carrying a ``binding`` string
+    attribute; when a job provides a value under that name, the op's
+    ``value`` attribute is replaced before interpretation::
+
+        %sz = "transform.param.constant"()
+              {binding = "tile_size", value = 4 : i64} ...
+
+    Returns the number of ops rebound. Unknown binding names are
+    ignored (the schedule's baked-in default stays in force), so one
+    schedule library serves both bound and unbound traffic.
+    """
+    bound = 0
+    if not params:
+        return bound
+    for op in script.walk():
+        if op.name != "transform.param.constant":
+            continue
+        binding = op.attr("binding")
+        if not isinstance(binding, StringAttr):
+            continue
+        if binding.value not in params:
+            continue
+        value = params[binding.value]
+        op.set_attr(
+            "value",
+            list(value) if isinstance(value, (list, tuple)) else int(value),
+        )
+        bound += 1
+    return bound
+
+
+def compile_job(payload_text: str, script_text: str,
+                params: Optional[ParamBindings] = None,
+                entry_point: Optional[str] = None,
+                strict: bool = False) -> Dict[str, object]:
+    """Compile one (payload, script, params) job; returns a plain dict.
+
+    The return value is deliberately pickle-friendly (strings and
+    numbers only) so it survives the pool's result channel unchanged:
+
+    ``status``
+        ``"success"`` | ``"silenceable"`` | ``"definite"``;
+    ``output``
+        the printed transformed payload (None on definite failure);
+    ``diagnostics``
+        the rendered diagnostic stream (empty when clean);
+    ``stats``
+        the interpreter's counters, job-local by construction;
+    ``wall_seconds``
+        in-worker wall time (parse + interpret + print).
+    """
+    from ..core.errors import TransformInterpreterError
+    from ..core.interpreter import TransformInterpreter
+    from ..ir.parser import parse
+    from ..ir.printer import print_op
+
+    _ensure_registered()
+    start = time.perf_counter()
+    payload = parse(payload_text, "<payload>")
+    script = parse(script_text, "<script>")
+    if params:
+        bind_parameters(script, params)
+
+    interpreter = TransformInterpreter(strict=strict)
+    status = "success"
+    output: Optional[str] = None
+    try:
+        result = interpreter.apply(script, payload, entry_point)
+        if result.is_silenceable:
+            status = "silenceable"
+        payload.verify()
+        output = print_op(payload)
+    except TransformInterpreterError as error:
+        return {
+            "status": "definite",
+            "output": None,
+            "diagnostics": str(error),
+            "stats": _stats_dict(interpreter),
+            "wall_seconds": time.perf_counter() - start,
+        }
+    return {
+        "status": status,
+        "output": output,
+        "diagnostics": (interpreter.diagnostics.render()
+                        if interpreter.diagnostics.diagnostics else ""),
+        "stats": _stats_dict(interpreter),
+        "wall_seconds": time.perf_counter() - start,
+    }
+
+
+def _stats_dict(interpreter) -> Dict[str, float]:
+    stats = interpreter.stats
+    return {
+        "transforms_executed": stats.transforms_executed,
+        "handles_created": stats.handles_created,
+        "handles_invalidated": stats.handles_invalidated,
+        "exceptions_contained": stats.exceptions_contained,
+    }

@@ -54,6 +54,7 @@ def transform_opt(
     profiler=None,
     strict: bool = False,
     verify: bool = False,
+    jobs: int = 1,
 ) -> str:
     """Apply a textual transform script to a textual payload.
 
@@ -68,6 +69,13 @@ def transform_opt(
     is the interpreter's MLIR-style ``error:``/``note:`` diagnostic
     chain; ``strict`` disables the exception barrier so crashes in
     transform code propagate raw (for debugging).
+
+    ``jobs > 1`` fans a multi-function payload out over the compile
+    service, one function per worker, when the script provably
+    distributes over functions (see :mod:`repro.service.sharding`);
+    the output is byte-identical to ``jobs=1``, falling back to the
+    sequential path whenever sharding does not apply or any shard
+    reports anything but clean success.
     """
     payload = parse(payload_text, "<payload>")
     script = parse(script_text, "<script>")
@@ -103,6 +111,14 @@ def transform_opt(
                 "static pipeline check failed:\n" + report.render()
             )
 
+    if jobs > 1 and entry_point is None:
+        sharded = _transform_opt_sharded(
+            payload, script, script_text, jobs,
+            strict=strict, profiler=profiler,
+        )
+        if sharded is not None:
+            return sharded
+
     interpreter = TransformInterpreter(profiler=profiler, strict=strict)
     result = interpreter.apply(script, payload, entry_point)
     if result.is_silenceable:
@@ -110,6 +126,47 @@ def transform_opt(
               file=sys.stderr)
     payload.verify()
     return print_op(payload)
+
+
+def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
+                           strict: bool = False,
+                           profiler=None) -> Optional[str]:
+    """Per-function fan-out over the compile service; None when the
+    (payload, script) pair is not shardable or any shard failed —
+    callers fall back to the sequential whole-module path, which also
+    reruns non-clean schedules so silenceable skip semantics stay
+    whole-module."""
+    from .service.engine import CompileEngine, CompileJob, JobStatus
+    from .service.sharding import (
+        is_func_shardable,
+        reassemble_module,
+        shard_payload,
+    )
+
+    if not is_func_shardable(script):
+        return None
+    shards = shard_payload(payload)
+    if shards is None:
+        return None
+    engine = CompileEngine(
+        workers=min(jobs, len(shards)),
+        cache=None,
+        preflight=False,
+        normalize_keys=False,
+        strict=strict,
+        profiler=profiler,
+    )
+    try:
+        results = engine.run_batch([
+            CompileJob(payload_text=print_op(shard),
+                       script_text=script_text)
+            for shard in shards
+        ])
+    finally:
+        engine.shutdown()
+    if any(r.status is not JobStatus.SUCCESS for r in results):
+        return None
+    return reassemble_module(payload, [r.output or "" for r in results])
 
 
 def pipeline_opt(payload_text: str, pipeline: str, profiler=None) -> str:
@@ -141,6 +198,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="disable the exception barrier: crashes in "
                         "transform/pattern code propagate raw")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="fan a multi-function payload out over N "
+                        "service workers when the script distributes "
+                        "over functions (output is byte-identical to "
+                        "--jobs 1)")
     parser.add_argument("--timing", action="store_true",
                         help="print a -mlir-timing-style report to stderr")
     parser.add_argument("-o", "--output", default="-",
@@ -162,7 +224,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             output = transform_opt(
                 payload_text, script_text, args.entry_point, args.check,
                 profiler=profiler, strict=args.strict,
-                verify=args.verify,
+                verify=args.verify, jobs=args.jobs,
             )
         else:
             output = pipeline_opt(payload_text, args.pipeline,

@@ -126,3 +126,96 @@ def test_reparse_is_idempotent(module):
     once = print_op(parse(print_op(module)))
     twice = print_op(parse(once))
     assert once == twice
+
+
+# ---------------------------------------------------------------------------
+# The compile service ships IR between processes as text; these cases
+# pin the transport contract on realistic payloads and on the float
+# attribute corners the textual form has historically mangled.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_fuzz_payload_roundtrip(seed):
+    """Fuzzer-generated payload modules survive print -> parse -> print
+    byte-identically (the service's process-boundary invariant)."""
+    import random
+
+    from repro.testing.fuzz import PayloadFuzzer
+
+    module = PayloadFuzzer(random.Random(seed)).module()
+    text = print_op(module)
+    reparsed = parse(text)
+    reparsed.verify()
+    assert print_op(reparsed) == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_transformed_fuzz_payload_roundtrip(seed):
+    """Round-trip stability also holds after transformation — the
+    direction results travel back from workers."""
+    import random
+
+    from repro.passes.manager import parse_pipeline
+    from repro.testing.fuzz import PayloadFuzzer
+
+    module = PayloadFuzzer(random.Random(seed)).module()
+    parse_pipeline("canonicalize").run(module)
+    text = print_op(module)
+    assert print_op(parse(text)) == text
+
+
+def _attr_module(**attributes):
+    module = Operation.create("builtin.module", regions=1)
+    block = module.regions[0].add_block()
+    Builder.at_end(block).create("test.attrs", attributes=attributes)
+    return module
+
+
+special_floats = st.sampled_from([
+    float("inf"), float("-inf"), 1e-30, 1e30, -2.5e-7, 0.0, -0.0, 123.456,
+])
+
+
+@settings(max_examples=40, deadline=None)
+@given(special_floats)
+def test_special_float_attr_roundtrip(value):
+    text = print_op(_attr_module(value=value))
+    assert print_op(parse(text)) == text
+
+
+def test_nan_attr_roundtrip():
+    # NaN compares unequal to itself, so byte-compare the prints.
+    text = print_op(_attr_module(value=float("nan")))
+    assert print_op(parse(text)) == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.floats(allow_nan=False, allow_infinity=False,
+                  width=32).map(float),
+        st.sampled_from([float("inf"), float("-inf"), 1e-30]),
+    ),
+    min_size=1, max_size=6,
+))
+def test_dense_float_attr_roundtrip(values):
+    from repro.ir.attributes import DenseFloatAttr
+    from repro.ir.types import vector
+
+    attr = DenseFloatAttr(values, vector(len(values)))
+    text = print_op(_attr_module(value=attr))
+    assert print_op(parse(text)) == text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-2**31, 2**31 - 1), min_size=1, max_size=6))
+def test_dense_int_attr_roundtrip(values):
+    from repro.ir.attributes import DenseIntAttr
+    from repro.ir.types import vector
+
+    attr = DenseIntAttr(values, vector(len(values), element_type=I64))
+    text = print_op(_attr_module(value=attr))
+    assert print_op(parse(text)) == text

@@ -1,0 +1,116 @@
+"""Content-addressed cache: keys, LRU, disk tier, stats."""
+
+from repro.service import CachedResult, CompilationCache, cache_key
+
+
+def _result(tag="out"):
+    return CachedResult("success", tag)
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("p", "s") == cache_key("p", "s")
+
+    def test_sensitive_to_every_component(self):
+        base = cache_key("p", "s")
+        assert cache_key("q", "s") != base
+        assert cache_key("p", "t") != base
+        assert cache_key("p", "s", {"n": 1}) != base
+        assert cache_key("p", "s", entry_point="main") != base
+
+    def test_param_order_irrelevant(self):
+        assert cache_key("p", "s", {"a": 1, "b": 2}) == \
+            cache_key("p", "s", {"b": 2, "a": 1})
+
+    def test_scalar_vs_singleton_list_equivalent(self):
+        # bind_parameters treats 4 and [4] identically, so must the key.
+        assert cache_key("p", "s", {"a": 4}) == \
+            cache_key("p", "s", {"a": [4]})
+
+    def test_separator_injection(self):
+        # The \x00 separators keep (payload+script) splits distinct.
+        assert cache_key("ab", "c") != cache_key("a", "bc")
+
+
+class TestLru:
+    def test_hit_miss_accounting(self):
+        cache = CompilationCache(capacity=4)
+        key = cache_key("p", "s")
+        assert cache.get(key) is None
+        cache.put(key, _result())
+        hit = cache.get(key)
+        assert hit is not None and hit.output == "out"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_order(self):
+        cache = CompilationCache(capacity=2)
+        cache.put("k1", _result("1"))
+        cache.put("k2", _result("2"))
+        cache.get("k1")  # promote k1; k2 is now LRU
+        cache.put("k3", _result("3"))
+        assert cache.get("k2") is None
+        assert cache.get("k1") is not None
+        assert cache.get("k3") is not None
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_overwrite_does_not_grow(self):
+        cache = CompilationCache(capacity=2)
+        cache.put("k", _result("a"))
+        cache.put("k", _result("b"))
+        assert len(cache) == 1
+        assert cache.get("k").output == "b"
+        assert cache.stats.evictions == 0
+
+    def test_clear(self):
+        cache = CompilationCache(capacity=2)
+        cache.put("k", _result())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("k") is None
+
+
+class TestDiskTier:
+    def test_survives_a_fresh_cache(self, tmp_path):
+        store = str(tmp_path / "cc")
+        first = CompilationCache(capacity=4, disk_path=store)
+        first.put("k", _result("persisted"))
+        assert first.stats.disk_puts == 1
+
+        second = CompilationCache(capacity=4, disk_path=store)
+        hit = second.get("k")
+        assert hit is not None and hit.output == "persisted"
+        assert second.stats.disk_hits == 1
+        # Promoted into memory: the next get is a pure memory hit.
+        second.get("k")
+        assert second.stats.disk_hits == 1
+        assert second.stats.hits == 2
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        store = str(tmp_path / "cc")
+        cache = CompilationCache(capacity=1, disk_path=store)
+        cache.put("k1", _result("1"))
+        cache.put("k2", _result("2"))  # evicts k1 from memory
+        assert cache.stats.evictions == 1
+        assert cache.get("k1").output == "1"  # refilled from disk
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        store = tmp_path / "cc"
+        cache = CompilationCache(capacity=2, disk_path=str(store))
+        (store / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_clear_disk(self, tmp_path):
+        store = str(tmp_path / "cc")
+        cache = CompilationCache(capacity=2, disk_path=store)
+        cache.put("k", _result())
+        cache.clear(disk=True)
+        assert cache.get("k") is None
+
+    def test_roundtrip_preserves_diagnostics(self):
+        original = CachedResult("silenceable", "module", "warning: skipped")
+        restored = CachedResult.from_json(original.to_json())
+        assert restored == original

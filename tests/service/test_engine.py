@@ -1,0 +1,337 @@
+"""CompileEngine: classification, caching, coalescing, crash containment.
+
+The sleep/crash transform ops below are registered at import time —
+before any engine (and hence any pool) is constructed — so fork-started
+workers inherit them and can execute the hostile schedules.
+"""
+
+import os
+import textwrap
+import time
+
+import pytest
+
+import repro.core  # registers transform ops
+import repro.dialects  # registers payload ops
+from repro.core.dialect import TransformOp
+from repro.core.errors import TransformResult
+from repro.ir.core import register_op
+from repro.service import (
+    CompilationCache,
+    CompileEngine,
+    CompileJob,
+    JobStatus,
+)
+
+
+@register_op
+class _ServiceTestSleepOp(TransformOp):
+    """Blocks the worker long enough to trip any sub-second deadline."""
+
+    NAME = "transform.test.service_sleep"
+
+    def apply(self, interpreter, state) -> TransformResult:
+        time.sleep(5.0)
+        return TransformResult.success()
+
+
+@register_op
+class _ServiceTestCrashOp(TransformOp):
+    """Kills the worker process outright — no exception barrier can
+    contain ``os._exit``, which is exactly the point."""
+
+    NAME = "transform.test.service_crash"
+
+    def apply(self, interpreter, state) -> TransformResult:
+        os._exit(3)
+
+
+PAYLOAD = textwrap.dedent("""
+    "builtin.module"() ({
+      "func.func"() ({
+        %lb = "arith.constant"() {value = 0 : index} : () -> index
+        %ub = "arith.constant"() {value = 8 : index} : () -> index
+        %st = "arith.constant"() {value = 1 : index} : () -> index
+        "scf.for"(%lb, %ub, %st) ({
+        ^bb0(%i: index):
+          %c = "arith.constant"() {value = 1 : i64} : () -> i64
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "func.return"() : () -> ()
+      }) {sym_name = "f", function_type = () -> ()} : () -> ()
+    }) : () -> ()
+""").strip()
+
+UNROLL = textwrap.dedent("""
+    "transform.sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match_op"(%root) {names = ["scf.for"], position = "all"} : (!transform.any_op) -> !transform.any_op
+      "transform.loop.unroll"(%loops) {factor = 2 : i64} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : () -> ()
+""").strip()
+
+UNROLL_BOUND = textwrap.dedent("""
+    "transform.sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %factor = "transform.param.constant"() {binding = "factor", value = 2 : i64} : () -> !transform.param<i64>
+      %loops = "transform.match_op"(%root) {names = ["scf.for"], position = "all"} : (!transform.any_op) -> !transform.any_op
+      "transform.loop.unroll"(%loops, %factor) : (!transform.any_op, !transform.param<i64>) -> ()
+      "transform.yield"() : () -> ()
+    }) : () -> ()
+""").strip()
+
+#: Statically broken: %loops is used after loop.unroll consumed it.
+USE_AFTER_CONSUME = textwrap.dedent("""
+    "transform.sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match_op"(%root) {names = ["scf.for"], position = "all"} : (!transform.any_op) -> !transform.any_op
+      "transform.loop.unroll"(%loops) {factor = 2 : i64} : (!transform.any_op) -> ()
+      "transform.annotate"(%loops) {attr_name = "mark", value = 1 : i64} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : () -> ()
+""").strip()
+
+
+def _hostile_script(op_name):
+    return textwrap.dedent(f"""
+        "transform.sequence"() ({{
+        ^bb0(%root: !transform.any_op):
+          "{op_name}"() : () -> ()
+          "transform.yield"() : () -> ()
+        }}) : () -> ()
+    """).strip()
+
+
+def _job(payload=PAYLOAD, script=UNROLL, **kwargs):
+    return CompileJob(payload_text=payload, script_text=script, **kwargs)
+
+
+class TestClassification:
+    def test_success_inline(self):
+        with CompileEngine(workers=0) as engine:
+            result = engine.run_job(_job())
+        assert result.status is JobStatus.SUCCESS
+        # Partial unroll by 2 duplicates the loop body in place.
+        assert result.output and result.output.count("1 : i64") == 2
+        assert result.stats["transforms_executed"] > 0
+        assert result.ok
+
+    def test_success_pooled(self):
+        with CompileEngine(workers=1) as engine:
+            result = engine.run_job(_job())
+        assert result.status is JobStatus.SUCCESS
+        assert result.worker_seconds > 0
+        assert result.attempts == 1
+
+    def test_preflight_rejects_use_after_consume(self):
+        with CompileEngine(workers=0) as engine:
+            result = engine.run_job(_job(script=USE_AFTER_CONSUME))
+        assert result.status is JobStatus.REJECTED
+        assert "error" in result.diagnostics
+        assert engine.stats.rejected == 1
+        assert engine.stats.executed == 0
+        assert not result.ok
+
+    def test_preflight_verdict_is_memoized(self):
+        with CompileEngine(workers=0) as engine:
+            for _ in range(3):
+                engine.run_job(_job(script=USE_AFTER_CONSUME))
+            assert len(engine._script_gate) == 1
+            assert engine.stats.rejected == 3
+
+    def test_unparsable_payload_rejected(self):
+        with CompileEngine(workers=0) as engine:
+            result = engine.run_job(_job(payload="not ir at all"))
+        assert result.status is JobStatus.REJECTED
+        assert "does not parse" in result.diagnostics
+
+    def test_definite_failure_classified(self):
+        # Statically clean, dynamically definite: unregistered op name
+        # inside the sequence trips the interpreter's dispatch error.
+        with CompileEngine(workers=0, preflight=False) as engine:
+            result = engine.run_job(
+                _job(script=_hostile_script("transform.test.nonexistent"))
+            )
+        assert result.status is JobStatus.DEFINITE
+        assert result.output is None
+        assert "error" in result.diagnostics
+
+    def test_shutdown_cancels_new_work(self):
+        engine = CompileEngine(workers=0)
+        engine.shutdown()
+        result = engine.run_job(_job())
+        assert result.status is JobStatus.CANCELLED
+        assert engine.stats.cancelled == 1
+
+
+class TestCacheIntegration:
+    def test_second_job_hits_cache(self):
+        cache = CompilationCache(capacity=8)
+        with CompileEngine(workers=0, cache=cache) as engine:
+            first = engine.run_job(_job())
+            second = engine.run_job(_job())
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.output == first.output
+        assert engine.stats.executed == 1
+        assert engine.stats.cache_hits == 1
+        assert cache.stats.hit_rate > 0
+
+    def test_formatting_differences_share_a_key(self):
+        # normalize_keys reprints both inputs, so whitespace-shifted
+        # payload text maps to the same content address.
+        reindented = PAYLOAD.replace("    ", "  ")
+        cache = CompilationCache(capacity=8)
+        with CompileEngine(workers=0, cache=cache) as engine:
+            first = engine.run_job(_job())
+            second = engine.run_job(_job(payload=reindented))
+        assert second.cache_hit
+        assert second.key == first.key
+
+    def test_params_split_the_key(self):
+        cache = CompilationCache(capacity=8)
+        with CompileEngine(workers=0, cache=cache) as engine:
+            two = engine.run_job(
+                _job(script=UNROLL_BOUND, params={"factor": 2})
+            )
+            four = engine.run_job(
+                _job(script=UNROLL_BOUND, params={"factor": 4})
+            )
+        assert not four.cache_hit
+        assert two.output != four.output
+        # Partial unroll duplicates the body `factor` times in place.
+        assert two.output.count("1 : i64") == 2
+        assert four.output.count("1 : i64") == 4
+
+    def test_rejected_jobs_never_cached(self):
+        cache = CompilationCache(capacity=8)
+        with CompileEngine(workers=0, cache=cache) as engine:
+            engine.run_job(_job(script=USE_AFTER_CONSUME))
+            engine.run_job(_job(script=USE_AFTER_CONSUME))
+        assert cache.stats.puts == 0
+
+
+class TestParameterBinding:
+    def test_binding_overrides_the_default(self):
+        with CompileEngine(workers=0, cache=None) as engine:
+            default = engine.run_job(_job(script=UNROLL_BOUND))
+            bound = engine.run_job(
+                _job(script=UNROLL_BOUND, params={"factor": 8})
+            )
+        assert default.status is JobStatus.SUCCESS
+        assert bound.status is JobStatus.SUCCESS
+        assert default.output != bound.output
+
+    def test_unknown_binding_ignored(self):
+        with CompileEngine(workers=0, cache=None) as engine:
+            default = engine.run_job(_job(script=UNROLL_BOUND))
+            stray = engine.run_job(
+                _job(script=UNROLL_BOUND, params={"nope": 8})
+            )
+        assert stray.output == default.output
+
+
+class TestPooledEquivalence:
+    """Satellite: pooled runs reproduce sequential runs exactly —
+    byte-identical output and identical interpreter stats, proving no
+    hidden module-level state leaks between jobs in a worker."""
+
+    def test_sequential_vs_pooled_identical(self):
+        jobs = [
+            _job(),
+            _job(script=UNROLL_BOUND, params={"factor": 4}),
+            _job(script=UNROLL_BOUND),
+        ]
+        with CompileEngine(workers=0, cache=None) as engine:
+            sequential = engine.run_batch(jobs)
+        with CompileEngine(workers=2, cache=None) as engine:
+            pooled = engine.run_batch(jobs)
+        assert len(sequential) == len(pooled) == len(jobs)
+        for seq, pool in zip(sequential, pooled):
+            assert pool.status is seq.status
+            assert pool.output == seq.output
+            assert pool.stats == seq.stats
+            assert pool.diagnostics == seq.diagnostics
+
+    def test_worker_state_does_not_accumulate(self):
+        # The same job through one single-process worker, repeatedly:
+        # stats must not drift run over run.
+        job_stats = []
+        with CompileEngine(workers=1, cache=None) as engine:
+            for _ in range(3):
+                result = engine.run_job(_job())
+                assert result.status is JobStatus.SUCCESS
+                job_stats.append(result.stats)
+        assert job_stats[0] == job_stats[1] == job_stats[2]
+
+
+class TestBatchAndCoalescing:
+    def test_batch_preserves_submission_order(self):
+        jobs = [
+            _job(job_id="a"),
+            _job(script=UNROLL_BOUND, job_id="b"),
+            _job(script=USE_AFTER_CONSUME, job_id="c"),
+        ]
+        with CompileEngine(workers=1) as engine:
+            results = engine.run_batch(jobs)
+        assert [r.job_id for r in results] == ["a", "b", "c"]
+        assert results[2].status is JobStatus.REJECTED
+
+    def test_duplicate_jobs_coalesce_or_hit_cache(self):
+        cache = CompilationCache(capacity=8)
+        jobs = [_job(job_id=f"dup-{i}") for i in range(6)]
+        with CompileEngine(workers=2, cache=cache) as engine:
+            results = engine.run_batch(jobs)
+            stats = engine.stats
+        assert all(r.status is JobStatus.SUCCESS for r in results)
+        outputs = {r.output for r in results}
+        assert len(outputs) == 1
+        # One execution did the work; everyone else shared it.
+        assert stats.executed == 1
+        assert stats.coalesced + stats.cache_hits == 5
+
+    def test_empty_batch(self):
+        with CompileEngine(workers=0) as engine:
+            assert engine.run_batch([]) == []
+
+
+class TestHostileWorkers:
+    def test_timeout_classified_and_contained(self):
+        script = _hostile_script("transform.test.service_sleep")
+        with CompileEngine(workers=1, preflight=False,
+                           job_timeout=0.25) as engine:
+            result = engine.run_job(_job(script=script))
+        assert result.status is JobStatus.TIMEOUT
+        assert "deadline" in result.diagnostics
+        assert engine.stats.timeouts == 1
+
+    def test_crash_retries_then_classifies(self):
+        script = _hostile_script("transform.test.service_crash")
+        with CompileEngine(workers=1, preflight=False) as engine:
+            result = engine.run_job(_job(script=script))
+            assert result.status is JobStatus.CRASHED
+            assert result.attempts == 2
+            assert engine.stats.crashes == 2
+            assert engine.stats.worker_restarts >= 1
+            # The restarted pool still serves well-behaved jobs.
+            healthy = engine.run_job(_job())
+            assert healthy.status is JobStatus.SUCCESS
+
+    def test_crash_without_retry(self):
+        script = _hostile_script("transform.test.service_crash")
+        with CompileEngine(workers=1, preflight=False,
+                           retry_crashed=False) as engine:
+            result = engine.run_job(_job(script=script))
+        assert result.status is JobStatus.CRASHED
+        assert result.attempts == 1
+
+
+class TestValidation:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            CompileEngine(workers=-1)
+
+    def test_bad_cache_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CompilationCache(capacity=0)

@@ -1,0 +1,166 @@
+"""ServiceFrontier admission layer and the repro-batch CLI."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import CompilationCache, CompileEngine, CompileJob
+from repro.service.frontier import ServiceFrontier, main as batch_main
+
+from .test_engine import PAYLOAD, UNROLL, UNROLL_BOUND, USE_AFTER_CONSUME
+
+
+def _job(script=UNROLL, **kwargs):
+    return CompileJob(payload_text=PAYLOAD, script_text=script, **kwargs)
+
+
+class TestFrontier:
+    def test_submit_roundtrip(self):
+        async def go():
+            with CompileEngine(workers=0) as engine:
+                async with ServiceFrontier(engine) as frontier:
+                    return await frontier.submit(_job())
+
+        result = asyncio.run(go())
+        assert result.ok
+
+    def test_run_preserves_submission_order(self):
+        jobs = [
+            _job(job_id="a"),
+            _job(script=USE_AFTER_CONSUME, job_id="b"),
+            _job(script=UNROLL_BOUND, job_id="c"),
+        ]
+
+        async def go():
+            with CompileEngine(workers=0) as engine:
+                async with ServiceFrontier(engine) as frontier:
+                    return await frontier.run(jobs)
+
+        results = asyncio.run(go())
+        assert [r.job_id for r in results] == ["a", "b", "c"]
+        assert results[0].ok and results[2].ok and not results[1].ok
+
+    def test_bounded_queue_applies_backpressure(self):
+        # With max_queue=1 every producer must wait for a dispatcher
+        # pop before the next admission; all jobs still complete.
+        jobs = [_job(job_id=f"j{i}") for i in range(8)]
+
+        async def go():
+            with CompileEngine(workers=0,
+                               cache=CompilationCache()) as engine:
+                async with ServiceFrontier(engine, max_queue=1,
+                                           dispatchers=1) as frontier:
+                    results = await frontier.run(jobs)
+                    depth = frontier.queue_depth
+                return results, depth, engine.stats.completed
+
+        results, depth, completed = asyncio.run(go())
+        assert all(r.ok for r in results)
+        assert depth == 0
+        assert completed == 8
+
+    def test_submit_before_start_raises(self):
+        async def go():
+            with CompileEngine(workers=0) as engine:
+                frontier = ServiceFrontier(engine)
+                with pytest.raises(RuntimeError):
+                    await frontier.submit(_job())
+
+        asyncio.run(go())
+
+    def test_invalid_queue_bound(self):
+        with CompileEngine(workers=0) as engine:
+            with pytest.raises(ValueError):
+                ServiceFrontier(engine, max_queue=0)
+
+    def test_close_is_idempotent(self):
+        async def go():
+            with CompileEngine(workers=0) as engine:
+                frontier = ServiceFrontier(engine)
+                await frontier.start()
+                await frontier.close()
+                await frontier.close()
+
+        asyncio.run(go())
+
+
+class TestBatchCli:
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        payloads = tmp_path / "payloads"
+        schedules = tmp_path / "schedules"
+        payloads.mkdir()
+        schedules.mkdir()
+        (payloads / "a.mlir").write_text(PAYLOAD)
+        (payloads / "b.mlir").write_text(PAYLOAD)
+        (schedules / "unroll.mlir").write_text(UNROLL)
+        (schedules / "bound.mlir").write_text(UNROLL_BOUND)
+        return tmp_path
+
+    def test_batch_compiles_the_product(self, tree, capsys):
+        out = tree / "out"
+        metrics = tree / "metrics.json"
+        code = batch_main([
+            str(tree / "payloads"),
+            "--schedule", str(tree / "schedules"),
+            "--jobs", "0",
+            "-o", str(out),
+            "--json", str(metrics),
+        ])
+        assert code == 0
+        produced = sorted(p.name for p in out.iterdir())
+        assert produced == [
+            "a.bound.mlir", "a.unroll.mlir",
+            "b.bound.mlir", "b.unroll.mlir",
+        ]
+        data = json.loads(metrics.read_text())
+        assert data["jobs"] == 4
+        assert data["by_status"] == {"success": 4}
+        # a and b are identical payloads: 2 distinct compilations,
+        # 2 cache hits.
+        assert data["engine"]["executed"] == 2
+        assert data["engine"]["cache_hits"] == 2
+        assert data["cache"]["hit_rate"] == 0.5
+        assert "service" in data["profiler"]
+
+    def test_batch_param_binding(self, tree, capsys):
+        out = tree / "out"
+        code = batch_main([
+            str(tree / "payloads" / "a.mlir"),
+            "--schedule", str(tree / "schedules" / "bound.mlir"),
+            "--jobs", "0",
+            "--param", "factor=4",
+            "-o", str(out),
+        ])
+        assert code == 0
+        text = (out / "a.bound.mlir").read_text()
+        assert text.count("1 : i64") == 4
+
+    def test_batch_reports_failures(self, tree, capsys):
+        bad = tree / "schedules" / "bad.mlir"
+        bad.write_text(USE_AFTER_CONSUME)
+        code = batch_main([
+            str(tree / "payloads" / "a.mlir"),
+            "--schedule", str(bad),
+            "--jobs", "0",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "rejected" in captured.out
+        assert "error" in captured.err
+
+    def test_batch_missing_inputs(self, tree, capsys):
+        code = batch_main([
+            str(tree / "nope"),
+            "--schedule", str(tree / "schedules"),
+        ])
+        assert code == 2
+
+    def test_batch_bad_param(self, tree, capsys):
+        code = batch_main([
+            str(tree / "payloads"),
+            "--schedule", str(tree / "schedules"),
+            "--param", "oops",
+        ])
+        assert code == 2

@@ -1,0 +1,126 @@
+"""Per-function fan-out: the gate, the splitter, and --jobs equivalence."""
+
+import textwrap
+
+import repro.core  # registers transform ops
+import repro.dialects  # registers payload ops
+from repro.ir.parser import parse
+from repro.ir.printer import print_op
+from repro.service import (
+    is_func_shardable,
+    reassemble_module,
+    shard_payload,
+)
+from repro.tools import _transform_opt_sharded, transform_opt
+
+from .test_engine import UNROLL, UNROLL_BOUND
+
+
+def _func(name, trip=8):
+    return textwrap.dedent(f"""
+      "func.func"() ({{
+        %lb = "arith.constant"() {{value = 0 : index}} : () -> index
+        %ub = "arith.constant"() {{value = {trip} : index}} : () -> index
+        %st = "arith.constant"() {{value = 1 : index}} : () -> index
+        "scf.for"(%lb, %ub, %st) ({{
+        ^bb0(%i: index):
+          %c = "arith.constant"() {{value = 1 : i64}} : () -> i64
+          "scf.yield"() : () -> ()
+        }}) : (index, index, index) -> ()
+        "func.return"() : () -> ()
+      }}) {{sym_name = "{name}", function_type = () -> ()}} : () -> ()
+    """).strip()
+
+
+def _module(*funcs):
+    body = "\n".join(funcs)
+    return f'"builtin.module"() ({{\n{body}\n}}) : () -> ()'
+
+
+MULTI = _module(_func("f0", 8), _func("f1", 4), _func("f2", 16))
+SINGLE = _module(_func("only"))
+
+
+class TestShardableGate:
+    def test_whitelisted_schedule_is_shardable(self):
+        assert is_func_shardable(parse(UNROLL))
+        assert is_func_shardable(parse(UNROLL_BOUND))
+
+    def test_positional_match_is_not(self):
+        script = UNROLL.replace('position = "all"', 'position = "first"')
+        assert not is_func_shardable(parse(script))
+
+    def test_unknown_transform_is_not(self):
+        script = UNROLL.replace(
+            "transform.loop.unroll", "transform.foreach"
+        )
+        assert not is_func_shardable(parse(script))
+
+    def test_named_sequences_are_not(self):
+        script = textwrap.dedent("""
+            "builtin.module"() ({
+              "transform.named_sequence"() ({
+              ^bb0(%root: !transform.any_op):
+                "transform.yield"() : () -> ()
+              }) {sym_name = "macro"} : () -> ()
+            }) : () -> ()
+        """).strip()
+        assert not is_func_shardable(parse(script))
+
+
+class TestShardPayload:
+    def test_multi_func_module_splits(self):
+        shards = shard_payload(parse(MULTI))
+        assert shards is not None and len(shards) == 3
+        for shard, name in zip(shards, ["f0", "f1", "f2"]):
+            assert f'"{name}"' in print_op(shard)
+
+    def test_single_func_module_does_not(self):
+        assert shard_payload(parse(SINGLE)) is None
+
+    def test_non_func_top_level_does_not(self):
+        mixed = _module(
+            _func("f0"),
+            '"llvm.mlir.global"() {sym_name = "g"} : () -> ()',
+        )
+        assert shard_payload(parse(mixed)) is None
+
+    def test_cross_function_calls_do_not(self):
+        caller = textwrap.dedent("""
+          "func.func"() ({
+            "func.call"() {callee = "f0"} : () -> ()
+            "func.return"() : () -> ()
+          }) {sym_name = "caller", function_type = () -> ()} : () -> ()
+        """).strip()
+        assert shard_payload(parse(_module(_func("f0"), caller))) is None
+
+    def test_identity_reassembly_is_byte_stable(self):
+        payload = parse(MULTI)
+        shards = shard_payload(payload)
+        texts = [print_op(s) for s in shards]
+        assert reassemble_module(payload, texts) == print_op(payload)
+
+
+class TestJobsEquivalence:
+    def test_sharded_path_fires_and_matches_sequential(self):
+        payload = parse(MULTI)
+        script = parse(UNROLL)
+        sharded = _transform_opt_sharded(payload, script, UNROLL, jobs=3)
+        assert sharded is not None
+        sequential = transform_opt(MULTI, UNROLL, jobs=1)
+        assert sharded == sequential
+
+    def test_transform_opt_jobs_flag_byte_identical(self):
+        assert transform_opt(MULTI, UNROLL, jobs=4) == \
+            transform_opt(MULTI, UNROLL, jobs=1)
+
+    def test_non_shardable_payload_falls_back(self):
+        # Single function: the sharded path declines, the sequential
+        # path still compiles.
+        assert transform_opt(SINGLE, UNROLL, jobs=4) == \
+            transform_opt(SINGLE, UNROLL, jobs=1)
+
+    def test_non_shardable_script_falls_back(self):
+        script = UNROLL.replace('position = "all"', 'position = "first"')
+        assert transform_opt(MULTI, script, jobs=4) == \
+            transform_opt(MULTI, script, jobs=1)
