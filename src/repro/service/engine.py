@@ -12,10 +12,11 @@ The engine takes :class:`CompileJob`\\ s and produces
    the same content key share one execution: followers wait on the
    leader's result instead of occupying a second worker;
 4. **the pool** — a ``ProcessPoolExecutor``; IR crosses the process
-   boundary as text. Per-job timeouts abandon the in-flight future
-   (TIMEOUT), a worker crash (``BrokenProcessPool``) restarts the pool
-   and retries the job once (then CRASHED), mirroring the PR 2
-   silenceable / definite / crash classification one level up.
+   boundary as text. Per-job timeouts kill the hung worker and restart
+   the pool so the slot is reclaimed (TIMEOUT), a worker crash
+   (``BrokenProcessPool``) restarts the pool and retries the job once
+   (then CRASHED), mirroring the PR 2 silenceable / definite / crash
+   classification one level up.
 
 ``workers=0`` runs jobs in-process, strictly sequentially, through the
 *same* worker function — the reference semantics pooled execution must
@@ -55,7 +56,8 @@ class JobStatus(enum.Enum):
     REJECTED = "rejected"
     #: The worker process died (twice, when retry is enabled).
     CRASHED = "crashed"
-    #: The per-job deadline elapsed; the in-flight future was abandoned.
+    #: The per-job deadline elapsed; the hung worker was killed and
+    #: the pool restarted so its slot is reclaimed.
     TIMEOUT = "timeout"
     #: Cancelled before a worker picked it up.
     CANCELLED = "cancelled"
@@ -200,12 +202,27 @@ class CompileEngine:
                 self._pool = self._make_pool()
             return self._pool, self._pool_generation
 
-    def _restart_pool(self, seen_generation: int) -> None:
-        """Replace a broken pool; no-op if another thread already did."""
+    def _restart_pool(self, seen_generation: int,
+                      kill: bool = False) -> None:
+        """Replace a broken pool; no-op if another thread already did.
+
+        ``kill`` forcibly terminates the old pool's worker processes
+        first — the timeout path needs this because a worker stuck in
+        a job never notices ``shutdown(wait=False)`` and would occupy
+        its slot forever. Other jobs in flight on the killed pool fail
+        with ``BrokenProcessPool`` and take the crash/retry path
+        against the fresh generation."""
         with self._pool_lock:
             if self._pool_generation != seen_generation:
                 return
             if self._pool is not None:
+                if kill:
+                    processes = getattr(self._pool, "_processes", None)
+                    for process in list((processes or {}).values()):
+                        try:
+                            process.terminate()
+                        except Exception:
+                            pass
                 self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = self._make_pool()
             self._pool_generation += 1
@@ -390,14 +407,20 @@ class CompileEngine:
                 try:
                     raw = future.result(timeout=timeout)
                 except TimeoutError:
+                    # cancel() is a no-op on a running task: the
+                    # worker would keep executing the job and starve
+                    # the pool. Kill it and restart the generation so
+                    # the slot is actually reclaimed.
                     future.cancel()
+                    self._restart_pool(generation, kill=True)
                     with self._book_lock:
                         self.stats.timeouts += 1
                     return JobResult(
                         job.job_id, JobStatus.TIMEOUT, key=key,
                         diagnostics=(
                             f"error: job exceeded its {timeout:g}s "
-                            "deadline; in-flight worker abandoned"
+                            "deadline; hung worker killed and the "
+                            "pool restarted"
                         ),
                         attempts=attempts,
                     )
@@ -416,9 +439,15 @@ class CompileEngine:
                         attempts=attempts,
                     )
                 except Exception as error:
-                    # Infrastructure failure outside the worker barrier
-                    # (e.g. unpicklable input): classify, don't crash
-                    # the service.
+                    # Either a worker-side exception pickled back with
+                    # strict=True (compile_job encodes everything else
+                    # itself) or an infrastructure failure outside the
+                    # worker barrier (e.g. unpicklable input). Strict
+                    # mode must propagate raw exactly like the
+                    # workers=0 reference path; otherwise classify,
+                    # don't crash the service.
+                    if self.strict:
+                        raise
                     return JobResult(
                         job.job_id, JobStatus.DEFINITE, key=key,
                         diagnostics=(

@@ -25,7 +25,7 @@ import os
 import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from .cache import CompilationCache
 from .engine import CompileEngine, CompileJob, JobResult
@@ -109,12 +109,21 @@ class ServiceFrontier:
         if self._queue is None:
             raise RuntimeError("frontier is not started")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put((job, future))
+        # Count the job before it is visible to dispatchers — the
+        # other order lets a dispatcher pop and decrement first,
+        # driving the counter (and the profiler's queue-depth samples)
+        # transiently negative.
         with self._depth_lock:
             self._depth += 1
             depth = self._depth
         if self.engine.profiler is not None:
             self.engine.profiler.record_queue_depth(depth)
+        try:
+            await self._queue.put((job, future))
+        except BaseException:
+            with self._depth_lock:
+                self._depth -= 1
+            raise
         return await future
 
     async def run(self, jobs: Sequence[CompileJob]) -> List[JobResult]:
@@ -182,6 +191,30 @@ def _parse_params(items: Optional[List[str]]) -> Optional[dict]:
 
 def _stem(path: str) -> str:
     return os.path.splitext(os.path.basename(path))[0]
+
+
+def _unique_labels(paths: Sequence[str]) -> List[str]:
+    """Human-readable, collision-free labels for a list of files.
+
+    Basename stems alone can collide — ``--schedule`` is repeatable,
+    so ``a/tile.mlir`` and ``b/tile.mlir`` may both be loaded, and
+    with ``-o`` colliding job ids would silently overwrite each
+    other's output files. Duplicated stems are qualified with their
+    parent directory; if even that collides, a positional index."""
+    labels = [_stem(path) for path in paths]
+    if len(set(labels)) == len(labels):
+        return labels
+    labels = [
+        "{}.{}".format(
+            os.path.basename(os.path.dirname(os.path.abspath(path)))
+            or "root",
+            _stem(path),
+        )
+        for path in paths
+    ]
+    if len(set(labels)) == len(labels):
+        return labels
+    return [f"{label}.{index}" for index, label in enumerate(labels)]
 
 
 async def _run_batch(frontier: ServiceFrontier,
@@ -265,20 +298,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler=profiler,
     )
 
-    pairs: List[Tuple[str, str]] = [
-        (payload, schedule)
-        for payload in payload_files
-        for schedule in schedule_files
-    ]
+    payload_labels = _unique_labels(payload_files)
+    schedule_labels = _unique_labels(schedule_files)
     jobs = [
         CompileJob(
             payload_text=open(payload).read(),
             script_text=open(schedule).read(),
             params=params,
             entry_point=args.entry_point,
-            job_id=f"{_stem(payload)}.{_stem(schedule)}",
+            job_id=f"{payload_label}.{schedule_label}",
         )
-        for payload, schedule in pairs
+        for payload, payload_label in zip(payload_files, payload_labels)
+        for schedule, schedule_label in zip(schedule_files, schedule_labels)
     ]
 
     frontier = ServiceFrontier(engine, max_queue=args.queue_size)

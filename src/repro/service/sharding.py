@@ -6,9 +6,13 @@ distributes over functions. :func:`is_func_shardable` is the
 conservative gate: every op in the entry sequence must come from a
 whitelist of transforms whose effect is local to each matched payload
 op (navigation, annotation, loop restructuring, greedy pattern
-application), and every ``transform.match_op`` must select *all*
+application), every ``transform.match_op`` must select *all*
 matches — positional selection (``first``/``last``) is inherently
-whole-module.
+whole-module — and every ``transform.get_parent_op`` must name a
+parent below the module (climbing to ``builtin.module`` would hand
+later transforms the shard's root, whose mutations — e.g.
+``transform.annotate`` — land on a per-shard clone and silently
+vanish in reassembly).
 
 Silenceable failures are also whole-module state (they skip the rest
 of the enclosing block for *every* function), so the ``--jobs`` driver
@@ -85,6 +89,14 @@ def is_func_shardable(script: Operation) -> bool:
             if position is not None and \
                     getattr(position, "value", "all") != "all":
                 return False
+        if op.name == "transform.get_parent_op":
+            wanted = getattr(op.attr("op_name"), "value", None)
+            # No op_name means "immediate parent", which for a
+            # top-level func is the module itself; an explicit
+            # builtin.module target climbs there on purpose. Either
+            # way the handle escapes the shard's function.
+            if not wanted or wanted == "builtin.module":
+                return False
     return True
 
 
@@ -117,13 +129,19 @@ def shard_payload(payload: Operation) -> Optional[List[Operation]]:
 
 
 def reassemble_module(payload: Operation,
-                      shard_texts: List[str]) -> str:
+                      shard_texts: List[str]) -> Optional[str]:
     """Splice transformed shard modules back into one module.
 
     The shards' functions are re-parented into a fresh module carrying
     the original module attributes, in the original function order, and
     the whole thing is printed once — so SSA value numbering is
-    assigned globally exactly as a whole-module run would have."""
+    assigned globally exactly as a whole-module run would have.
+
+    Returns None when any shard's module attributes diverged from the
+    original payload's: the schedule mutated the module op itself (a
+    per-shard clone), which cannot be merged back faithfully — callers
+    must fall back to the sequential whole-module path. This backstops
+    :func:`is_func_shardable` against any future whitelist hole."""
     from ..dialects import builtin
     from ..ir.parser import parse
     from ..ir.printer import print_op
@@ -132,6 +150,8 @@ def reassemble_module(payload: Operation,
     result.attributes.update(payload.attributes)
     for index, text in enumerate(shard_texts):
         shard = parse(text, f"<shard {index}>")
+        if dict(shard.attributes) != dict(payload.attributes):
+            return None
         for op in list(shard.regions[0].entry_block.ops):
             result.body.append(op)
     result.verify()

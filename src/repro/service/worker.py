@@ -74,6 +74,11 @@ def compile_job(payload_text: str, script_text: str,
 
     ``status``
         ``"success"`` | ``"silenceable"`` | ``"definite"``;
+        unexpected exceptions (a crash in transform code the barrier
+        did not wrap, a payload verifier error) are encoded here as
+        ``"definite"`` rather than raised, so pooled and in-process
+        execution classify identically; ``strict`` disables that and
+        lets them propagate raw, in both modes;
     ``output``
         the printed transformed payload (None on definite failure);
     ``diagnostics``
@@ -90,15 +95,15 @@ def compile_job(payload_text: str, script_text: str,
 
     _ensure_registered()
     start = time.perf_counter()
-    payload = parse(payload_text, "<payload>")
-    script = parse(script_text, "<script>")
-    if params:
-        bind_parameters(script, params)
-
-    interpreter = TransformInterpreter(strict=strict)
+    interpreter = None
     status = "success"
     output: Optional[str] = None
     try:
+        payload = parse(payload_text, "<payload>")
+        script = parse(script_text, "<script>")
+        if params:
+            bind_parameters(script, params)
+        interpreter = TransformInterpreter(strict=strict)
         result = interpreter.apply(script, payload, entry_point)
         if result.is_silenceable:
             status = "silenceable"
@@ -109,7 +114,24 @@ def compile_job(payload_text: str, script_text: str,
             "status": "definite",
             "output": None,
             "diagnostics": str(error),
-            "stats": _stats_dict(interpreter),
+            "stats": _stats_dict(interpreter) if interpreter else {},
+            "wall_seconds": time.perf_counter() - start,
+        }
+    except Exception as error:
+        # Anything the interpreter's barrier did not wrap (parse
+        # errors when the engine skips key normalization, payload
+        # verifier failures, crashes in transform code). Encoding it
+        # here — in the worker — is what keeps pooled and workers=0
+        # classification identical; strict mode propagates raw in
+        # both (the pool pickles the exception back, the engine
+        # re-raises it).
+        if strict:
+            raise
+        return {
+            "status": "definite",
+            "output": None,
+            "diagnostics": f"error: {type(error).__name__}: {error}",
+            "stats": _stats_dict(interpreter) if interpreter else {},
             "wall_seconds": time.perf_counter() - start,
         }
     return {

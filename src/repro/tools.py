@@ -132,7 +132,8 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
                            strict: bool = False,
                            profiler=None) -> Optional[str]:
     """Per-function fan-out over the compile service; None when the
-    (payload, script) pair is not shardable or any shard failed —
+    (payload, script) pair is not shardable, any shard failed, or a
+    shard's module attributes diverged during reassembly —
     callers fall back to the sequential whole-module path, which also
     reruns non-clean schedules so silenceable skip semantics stay
     whole-module."""

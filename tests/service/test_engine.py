@@ -36,6 +36,17 @@ class _ServiceTestSleepOp(TransformOp):
 
 
 @register_op
+class _ServiceTestRaiseOp(TransformOp):
+    """Raises a raw exception from transform code — contained into a
+    definite failure by default, propagated verbatim under strict."""
+
+    NAME = "transform.test.service_raise"
+
+    def apply(self, interpreter, state) -> TransformResult:
+        raise ValueError("raw crash from transform code")
+
+
+@register_op
 class _ServiceTestCrashOp(TransformOp):
     """Kills the worker process outright — no exception barrier can
     contain ``os._exit``, which is exactly the point."""
@@ -296,6 +307,32 @@ class TestBatchAndCoalescing:
             assert engine.run_batch([]) == []
 
 
+class TestStrictParity:
+    """Pooled and workers=0 execution must classify error paths
+    identically — including strict mode's raw-exception propagation."""
+
+    def test_nonstrict_classifies_identically(self):
+        script = _hostile_script("transform.test.service_raise")
+        with CompileEngine(workers=0, preflight=False) as engine:
+            inline = engine.run_job(_job(script=script))
+        with CompileEngine(workers=1, preflight=False) as engine:
+            pooled = engine.run_job(_job(script=script))
+        assert inline.status is JobStatus.DEFINITE
+        assert pooled.status is inline.status
+        assert pooled.diagnostics == inline.diagnostics
+
+    def test_strict_propagates_raw_in_both_modes(self):
+        script = _hostile_script("transform.test.service_raise")
+        with CompileEngine(workers=0, preflight=False,
+                           strict=True) as engine:
+            with pytest.raises(ValueError, match="raw crash"):
+                engine.run_job(_job(script=script))
+        with CompileEngine(workers=1, preflight=False,
+                           strict=True) as engine:
+            with pytest.raises(ValueError, match="raw crash"):
+                engine.run_job(_job(script=script))
+
+
 class TestHostileWorkers:
     def test_timeout_classified_and_contained(self):
         script = _hostile_script("transform.test.service_sleep")
@@ -305,6 +342,18 @@ class TestHostileWorkers:
         assert result.status is JobStatus.TIMEOUT
         assert "deadline" in result.diagnostics
         assert engine.stats.timeouts == 1
+
+    def test_timeout_reclaims_the_pool(self):
+        # Regression: the hung worker used to keep running after
+        # cancel(), so with workers=1 every later job timed out too.
+        script = _hostile_script("transform.test.service_sleep")
+        with CompileEngine(workers=1, preflight=False,
+                           job_timeout=0.25) as engine:
+            hung = engine.run_job(_job(script=script))
+            assert hung.status is JobStatus.TIMEOUT
+            assert engine.stats.worker_restarts >= 1
+            healthy = engine.run_job(_job(timeout=30.0))
+            assert healthy.status is JobStatus.SUCCESS
 
     def test_crash_retries_then_classifies(self):
         script = _hostile_script("transform.test.service_crash")

@@ -6,7 +6,11 @@ import json
 import pytest
 
 from repro.service import CompilationCache, CompileEngine, CompileJob
-from repro.service.frontier import ServiceFrontier, main as batch_main
+from repro.service.frontier import (
+    ServiceFrontier,
+    _unique_labels,
+    main as batch_main,
+)
 
 from .test_engine import PAYLOAD, UNROLL, UNROLL_BOUND, USE_AFTER_CONSUME
 
@@ -59,6 +63,37 @@ class TestFrontier:
         assert all(r.ok for r in results)
         assert depth == 0
         assert completed == 8
+
+    def test_queue_depth_samples_never_negative(self):
+        # Regression: depth used to be incremented only after put(),
+        # so a dispatcher could pop-and-decrement first and the
+        # profiler sampled transiently negative depths.
+        class _DepthRecorder:
+            def __init__(self):
+                self.samples = []
+
+            def record_queue_depth(self, depth):
+                self.samples.append(depth)
+
+            def record_service_job(self, *args, **kwargs):
+                pass
+
+            def record_worker_restart(self):
+                pass
+
+        recorder = _DepthRecorder()
+        jobs = [_job(job_id=f"d{i}") for i in range(12)]
+
+        async def go():
+            with CompileEngine(workers=0, profiler=recorder) as engine:
+                async with ServiceFrontier(engine, max_queue=2,
+                                           dispatchers=2) as frontier:
+                    return await frontier.run(jobs)
+
+        results = asyncio.run(go())
+        assert all(r.ok for r in results)
+        assert len(recorder.samples) == len(jobs)
+        assert all(sample >= 1 for sample in recorder.samples)
 
     def test_submit_before_start_raises(self):
         async def go():
@@ -150,6 +185,28 @@ class TestBatchCli:
         assert "rejected" in captured.out
         assert "error" in captured.err
 
+    def test_duplicate_schedule_stems_do_not_collide(self, tree, capsys):
+        # Regression: --schedule is repeatable across directories, and
+        # two files named unroll.mlir used to produce one job id —
+        # with -o, the second output silently overwrote the first.
+        other = tree / "schedules2"
+        other.mkdir()
+        (other / "unroll.mlir").write_text(UNROLL_BOUND)
+        out = tree / "out"
+        code = batch_main([
+            str(tree / "payloads" / "a.mlir"),
+            "--schedule", str(tree / "schedules" / "unroll.mlir"),
+            "--schedule", str(other / "unroll.mlir"),
+            "--jobs", "0",
+            "-o", str(out),
+        ])
+        assert code == 0
+        produced = sorted(p.name for p in out.iterdir())
+        assert produced == [
+            "a.schedules.unroll.mlir",
+            "a.schedules2.unroll.mlir",
+        ]
+
     def test_batch_missing_inputs(self, tree, capsys):
         code = batch_main([
             str(tree / "nope"),
@@ -164,3 +221,15 @@ class TestBatchCli:
             "--param", "oops",
         ])
         assert code == 2
+
+
+class TestUniqueLabels:
+    def test_distinct_stems_stay_plain(self):
+        assert _unique_labels(["a/x.mlir", "b/y.mlir"]) == ["x", "y"]
+
+    def test_duplicate_stems_gain_parent_dir(self):
+        assert _unique_labels(["a/x.mlir", "b/x.mlir"]) == ["a.x", "b.x"]
+
+    def test_same_file_twice_falls_back_to_index(self):
+        assert _unique_labels(["a/x.mlir", "a/x.mlir"]) == \
+            ["a.x.0", "a.x.1"]

@@ -40,6 +40,37 @@ def _module(*funcs):
 MULTI = _module(_func("f0", 8), _func("f1", 4), _func("f2", 16))
 SINGLE = _module(_func("only"))
 
+#: Climbs from each func to the module and annotates *it* — the
+#: annotation lands on a per-shard clone module, so sharding must
+#: refuse or the mark silently vanishes in reassembly.
+MODULE_ANNOTATE = textwrap.dedent("""
+    "transform.sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %funcs = "transform.match_op"(%root) {names = ["func.func"], position = "all"} : (!transform.any_op) -> !transform.any_op
+      %mod = "transform.get_parent_op"(%funcs) {op_name = "builtin.module"} : (!transform.any_op) -> !transform.any_op
+      "transform.annotate"(%mod) {attr_name = "marked", value = 1 : i64} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : () -> ()
+""").strip()
+
+#: No op_name: "immediate parent", which for a top-level func is the
+#: module itself — just as unshardable as naming builtin.module.
+PARENT_NO_NAME = MODULE_ANNOTATE.replace(
+    ' {op_name = "builtin.module"}', ""
+)
+
+#: Stays below the module (loop -> enclosing func): genuinely
+#: distributes over functions, so the fan-out path must still fire.
+FUNC_ANNOTATE = textwrap.dedent("""
+    "transform.sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match_op"(%root) {names = ["scf.for"], position = "all"} : (!transform.any_op) -> !transform.any_op
+      %fn = "transform.get_parent_op"(%loops) {op_name = "func.func"} : (!transform.any_op) -> !transform.any_op
+      "transform.annotate"(%fn) {attr_name = "marked", value = 1 : i64} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : () -> ()
+""").strip()
+
 
 class TestShardableGate:
     def test_whitelisted_schedule_is_shardable(self):
@@ -55,6 +86,15 @@ class TestShardableGate:
             "transform.loop.unroll", "transform.foreach"
         )
         assert not is_func_shardable(parse(script))
+
+    def test_get_parent_to_module_is_not(self):
+        assert not is_func_shardable(parse(MODULE_ANNOTATE))
+
+    def test_get_parent_without_op_name_is_not(self):
+        assert not is_func_shardable(parse(PARENT_NO_NAME))
+
+    def test_get_parent_below_module_is(self):
+        assert is_func_shardable(parse(FUNC_ANNOTATE))
 
     def test_named_sequences_are_not(self):
         script = textwrap.dedent("""
@@ -100,6 +140,16 @@ class TestShardPayload:
         texts = [print_op(s) for s in shards]
         assert reassemble_module(payload, texts) == print_op(payload)
 
+    def test_reassembly_rejects_diverged_module_attrs(self):
+        # Backstop behind the gate: a shard whose module op gained an
+        # attribute cannot be merged faithfully — reassembly must
+        # refuse so the caller falls back to the sequential path.
+        payload = parse(MULTI)
+        shards = shard_payload(payload)
+        shards[1].set_attr("marked", 1)
+        texts = [print_op(s) for s in shards]
+        assert reassemble_module(payload, texts) is None
+
 
 class TestJobsEquivalence:
     def test_sharded_path_fires_and_matches_sequential(self):
@@ -124,3 +174,23 @@ class TestJobsEquivalence:
         script = UNROLL.replace('position = "all"', 'position = "first"')
         assert transform_opt(MULTI, script, jobs=4) == \
             transform_opt(MULTI, script, jobs=1)
+
+    def test_module_annotation_falls_back_and_keeps_the_mark(self):
+        # Regression: get_parent_op climbing to builtin.module used to
+        # pass the gate, each shard annotated its own clone module,
+        # and the reassembled output silently lost `marked`.
+        assert _transform_opt_sharded(
+            parse(MULTI), parse(MODULE_ANNOTATE), MODULE_ANNOTATE,
+            jobs=2,
+        ) is None
+        fanned = transform_opt(MULTI, MODULE_ANNOTATE, jobs=2)
+        assert fanned == transform_opt(MULTI, MODULE_ANNOTATE, jobs=1)
+        assert "marked" in fanned
+
+    def test_in_shard_get_parent_still_fans_out(self):
+        sharded = _transform_opt_sharded(
+            parse(MULTI), parse(FUNC_ANNOTATE), FUNC_ANNOTATE, jobs=3
+        )
+        assert sharded is not None
+        assert sharded == transform_opt(MULTI, FUNC_ANNOTATE, jobs=1)
+        assert sharded.count("marked") == 3
