@@ -242,6 +242,16 @@ class TransformState(RewriteListener):
         """Drop erased ops from every mapping (empty set, not dangling)."""
         self._repoint(op, None)
 
+    def notify_op_modified(self, op: Operation) -> None:
+        """Invalidate the structural-digest memo of a modified op.
+
+        Handle mappings are unaffected by in-place modification, but
+        the content-addressed digest chain (op and ancestors) is stale
+        the moment a tracked op mutates; the reverse index means this
+        fires only for ops the interpreter actually touched.
+        """
+        op.invalidate_digest()
+
     def _repoint(self, op: Operation,
                  replacement: Optional[Operation]) -> None:
         handle_ids = self._op_handles.get(id(op))

@@ -34,6 +34,56 @@ from .location import Location, UNKNOWN_LOC
 from .types import Type
 
 # ---------------------------------------------------------------------------
+# Structural-digest bookkeeping (see :mod:`repro.ir.hashing`)
+# ---------------------------------------------------------------------------
+
+
+class DigestStats:
+    """Process-wide structural-hash counters.
+
+    ``hits``/``recomputes`` are bumped by :func:`repro.ir.hashing.
+    op_digest` (memo hit vs bottom-up recompute); ``invalidations``
+    counts mutation events that cleared at least one memoized digest.
+    The profiler reports deltas against a per-instance baseline.
+    """
+
+    __slots__ = ("hits", "recomputes", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.recomputes = 0
+        self.invalidations = 0
+
+    def snapshot(self):
+        return (self.hits, self.recomputes, self.invalidations)
+
+
+DIGEST_STATS = DigestStats()
+
+
+def invalidate_digest(op: Optional["Operation"]) -> None:
+    """Clear the memoized structural digest of ``op`` and its ancestors.
+
+    Digests are memoized bottom-up: a memoized ancestor implies every
+    op beneath it is memoized too (computing the ancestor memoizes the
+    whole subtree, and any later mutation below clears the full
+    ancestor chain). The contrapositive lets the walk stop at the
+    first op whose memo is already empty — mutations of never-hashed
+    IR cost a single attribute check.
+    """
+    cleared = False
+    node = op
+    while node is not None and node._digest is not None:
+        node._digest = None
+        node._digest_free = ()
+        node._digest_free_blocks = ()
+        cleared = True
+        node = node.parent_op
+    if cleared:
+        DIGEST_STATS.invalidations += 1
+
+
+# ---------------------------------------------------------------------------
 # Values and use-def chains
 # ---------------------------------------------------------------------------
 
@@ -58,10 +108,14 @@ class OpOperand:
         self._value._uses.remove(self)
         self._value = new_value
         new_value._uses.append(self)
+        if self.owner._digest is not None:
+            invalidate_digest(self.owner)
 
     def drop(self) -> None:
         """Remove this use from its value's use list."""
         self._value._uses.remove(self)
+        if self.owner._digest is not None:
+            invalidate_digest(self.owner)
 
 
 class Value:
@@ -241,6 +295,16 @@ class Operation:
     #: Structural traits checked by the verifier.
     TRAITS: frozenset = frozenset()
 
+    #: Memoized structural digest (see :mod:`repro.ir.hashing`). Class
+    #: attributes double as the "not computed" default so creating an
+    #: operation costs nothing; memoization writes instance attributes.
+    _digest: Optional[bytes] = None
+    #: Values referenced by this subtree but defined outside it, in
+    #: first-occurrence (printer) order; part of the digest memo.
+    _digest_free: tuple = ()
+    #: Successor blocks referenced but not owned by this subtree.
+    _digest_free_blocks: tuple = ()
+
     def __init__(
         self,
         name: str,
@@ -308,6 +372,8 @@ class Operation:
         for operand in self._operands:
             operand.drop()
         self._operands = [OpOperand(self, i, v) for i, v in enumerate(values)]
+        if self._digest is not None:
+            invalidate_digest(self)
 
     def replace_uses_of_with(self, old: Value, new: Value) -> None:
         for operand in self._operands:
@@ -328,9 +394,20 @@ class Operation:
 
     def set_attr(self, name: str, value: AttrLike) -> None:
         self.attributes[name] = make_attr(value)
+        if self._digest is not None:
+            invalidate_digest(self)
 
     def remove_attr(self, name: str) -> Optional[Attribute]:
-        return self.attributes.pop(name, None)
+        removed = self.attributes.pop(name, None)
+        if removed is not None and self._digest is not None:
+            invalidate_digest(self)
+        return removed
+
+    def invalidate_digest(self) -> None:
+        """Drop memoized structural digests after an out-of-band
+        mutation (direct ``attributes``/``successors``/``name`` edits
+        that bypass the hooked mutators)."""
+        invalidate_digest(self)
 
     def has_trait(self, trait: PyType[Trait]) -> bool:
         return trait in type(self).TRAITS
@@ -529,6 +606,7 @@ class Block:
     def add_arg(self, type: Type) -> BlockArgument:
         arg = BlockArgument(self, len(self.args), type)
         self.args.append(arg)
+        invalidate_digest(self.parent_op)
         return arg
 
     def erase_arg(self, index: int) -> None:
@@ -538,6 +616,7 @@ class Block:
         del self.args[index]
         for i, remaining in enumerate(self.args):
             remaining.index = i
+        invalidate_digest(self.parent_op)
 
     # -- op list -------------------------------------------------------------
 
@@ -546,6 +625,7 @@ class Block:
             op.parent.remove(op)
         op.parent = self
         self.ops.append(op)
+        invalidate_digest(self.parent_op)
         return op
 
     def insert(self, index: int, op: Operation) -> Operation:
@@ -553,6 +633,7 @@ class Block:
             op.parent.remove(op)
         op.parent = self
         self.ops.insert(index, op)
+        invalidate_digest(self.parent_op)
         return op
 
     def insert_before(self, anchor: Operation, op: Operation) -> Operation:
@@ -564,6 +645,7 @@ class Block:
     def remove(self, op: Operation) -> None:
         self.ops.remove(op)
         op.parent = None
+        invalidate_digest(self.parent_op)
 
     @property
     def terminator(self) -> Optional[Operation]:
@@ -597,16 +679,19 @@ class Region:
             block = Block()
         block.parent = self
         self.blocks.append(block)
+        invalidate_digest(self.parent)
         return block
 
     def insert_block(self, index: int, block: Block) -> Block:
         block.parent = self
         self.blocks.insert(index, block)
+        invalidate_digest(self.parent)
         return block
 
     def remove_block(self, block: Block) -> None:
         self.blocks.remove(block)
         block.parent = None
+        invalidate_digest(self.parent)
 
     @property
     def entry_block(self) -> Block:

@@ -1,0 +1,182 @@
+"""Content-addressed structural hashing for IR subtrees.
+
+Every scale-sensitive service path — cache lookup, single-flight
+dedup, ``--jobs`` shard identity, byte-identity reassembly — used to
+bottom out in :func:`repro.ir.printer.print_op` over an entire module:
+O(module) string work per lookup. This module gives operations a
+cheap structural identity instead: a SHA-256 digest computed
+bottom-up over (op name, attributes, operand structure, result types,
+successors, regions), memoized on the :class:`~repro.ir.core.
+Operation` and invalidated through the mutation hooks in
+:mod:`repro.ir.core` (an ancestor-chain walk that stops at the first
+already-cleared memo, so never-hashed IR pays a single attribute
+check per mutation).
+
+The contract — property-tested over the fuzz corpus — is::
+
+    op_digest(a) == op_digest(b)   =>   print_op(a) == print_op(b)
+
+and any structural mutation of an op changes the digests of exactly
+that op's ancestor chain.
+
+Reference encoding
+------------------
+
+Printed SSA names are assigned in traversal order, so a digest that
+guarantees print equality must capture *which* definition each use
+refers to, positionally. Values defined inside the subtree being
+hashed are encoded by their structural path (region index, block
+index, defining-op index, result index — or block-argument index);
+values defined outside it ("free" values, e.g. an operand of the
+root) are encoded by first-occurrence index and reported upward in
+the memo, where the parent re-encodes them against its own paths.
+This keeps the memo compositional: a ``func.func`` keeps its digest
+when it moves between modules, and a module digest is assembled from
+its functions' memos without re-walking them. Successor blocks are
+encoded through the same mechanism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, List, Tuple
+
+from .core import Block, DIGEST_STATS, Operation, Value
+from .printer import print_attribute
+
+_PACK = struct.Struct(">I").pack
+
+#: Domain-separation prefix; bump when the encoding changes so stale
+#: digests can never collide with fresh ones across versions.
+_DOMAIN = b"repro-op-digest-v1"
+
+
+def _text(hasher, text: str) -> None:
+    data = text.encode()
+    hasher.update(_PACK(len(data)))
+    hasher.update(data)
+
+
+def _compute(op: Operation) -> Tuple[bytes, tuple, tuple]:
+    """Digest of ``op``'s subtree plus its free values/blocks; memoized."""
+    memo = op._digest
+    if memo is not None:
+        DIGEST_STATS.hits += 1
+        return memo, op._digest_free, op._digest_free_blocks
+    DIGEST_STATS.recomputes += 1
+
+    local_values: Dict[int, bytes] = {}
+    free_values: List[Value] = []
+    free_value_index: Dict[int, int] = {}
+    local_blocks: Dict[int, bytes] = {}
+    free_blocks: List[Block] = []
+    free_block_index: Dict[int, int] = {}
+
+    def encode_value(value: Value) -> bytes:
+        path = local_values.get(id(value))
+        if path is not None:
+            return b"L" + path
+        index = free_value_index.get(id(value))
+        if index is None:
+            index = len(free_values)
+            free_value_index[id(value)] = index
+            free_values.append(value)
+        return b"F" + _PACK(index)
+
+    def encode_block(block: Block) -> bytes:
+        path = local_blocks.get(id(block))
+        if path is not None:
+            return b"L" + path
+        index = free_block_index.get(id(block))
+        if index is None:
+            index = len(free_blocks)
+            free_block_index[id(block)] = index
+            free_blocks.append(block)
+        return b"F" + _PACK(index)
+
+    hasher = hashlib.sha256(_DOMAIN)
+    _text(hasher, op.name)
+    hasher.update(_PACK(len(op.results)))
+    for result in op.results:
+        _text(hasher, str(result.type))
+    # The root's operands are free by construction (SSA: an op cannot
+    # use its own results, and its regions' values are not visible as
+    # operands), and they are hashed before the regions so free
+    # indices follow the printer's first-use order.
+    hasher.update(_PACK(op.num_operands))
+    for operand in op.operands:
+        hasher.update(encode_value(operand))
+        _text(hasher, str(operand.type))
+    hasher.update(_PACK(len(op.successors)))
+    for successor in op.successors:
+        hasher.update(encode_block(successor))
+    items = sorted(op.attributes.items())
+    hasher.update(_PACK(len(items)))
+    for key, attribute in items:
+        _text(hasher, key)
+        _text(hasher, print_attribute(attribute))
+    hasher.update(_PACK(len(op.regions)))
+    for region_index, region in enumerate(op.regions):
+        hasher.update(_PACK(len(region.blocks)))
+        # Pre-register every block and block argument of the region so
+        # forward references (a branch to a later block) encode as
+        # local paths, not free indices.
+        for block_index, block in enumerate(region.blocks):
+            prefix = _PACK(region_index) + _PACK(block_index)
+            local_blocks[id(block)] = prefix
+            for arg_index, arg in enumerate(block.args):
+                local_values[id(arg)] = prefix + b"a" + _PACK(arg_index)
+        for block_index, block in enumerate(region.blocks):
+            prefix = _PACK(region_index) + _PACK(block_index)
+            hasher.update(_PACK(len(block.args)))
+            for arg in block.args:
+                _text(hasher, str(arg.type))
+            hasher.update(_PACK(len(block.ops)))
+            for op_index, child in enumerate(block.ops):
+                child_digest, child_free, child_free_blocks = _compute(child)
+                hasher.update(child_digest)
+                # Re-encode the child's free references against this
+                # level's paths: this is what binds "child uses free
+                # value #k" to an actual definition site.
+                hasher.update(_PACK(len(child_free)))
+                for value in child_free:
+                    hasher.update(encode_value(value))
+                hasher.update(_PACK(len(child_free_blocks)))
+                for free_block in child_free_blocks:
+                    hasher.update(encode_block(free_block))
+                for result_index, result in enumerate(child.results):
+                    local_values[id(result)] = (
+                        prefix + b"r" + _PACK(op_index) + _PACK(result_index)
+                    )
+    digest = hasher.digest()
+    op._digest = digest
+    op._digest_free = tuple(free_values)
+    op._digest_free_blocks = tuple(free_blocks)
+    return digest, op._digest_free, op._digest_free_blocks
+
+
+def op_digest(op: Operation) -> str:
+    """Hex structural digest of ``op``'s subtree (memoized on the op).
+
+    Equal digests imply byte-identical :func:`~repro.ir.printer.
+    print_op` output; recomputation after a mutation touches only the
+    invalidated ancestor chain, reusing every untouched subtree memo.
+    """
+    return _compute(op)[0].hex()
+
+
+def attributes_digest(op: Operation) -> str:
+    """Hex digest of ``op``'s attribute dictionary alone.
+
+    Used by sharding reassembly as the module-attribute divergence
+    backstop — a digest compare instead of materializing and
+    comparing attribute dictionaries.
+    """
+    hasher = hashlib.sha256(b"repro-attrs-digest-v1")
+    items = sorted(op.attributes.items())
+    hasher.update(_PACK(len(items)))
+    for key, attribute in items:
+        _text(hasher, key)
+        _text(hasher, print_attribute(attribute))
+    return hasher.hexdigest()

@@ -36,30 +36,39 @@ from .core import Block, Operation, Value
 
 
 class _NameManager:
-    """Assigns stable ``%N`` / ``%argN`` / ``^bbN`` names while printing."""
+    """Assigns stable ``%N`` / ``%argN`` / ``^bbN`` names while printing.
+
+    The tables key on the Value/Block objects themselves (identity
+    hash, strong references), not ``id()``: keying on ``id()`` lets a
+    value erased mid-print free its integer for a freshly allocated
+    one, aliasing two distinct values onto one name — the same
+    ``id()``-reuse class the greedy driver's reverse index hit.
+    """
 
     def __init__(self) -> None:
-        self.value_names: Dict[int, str] = {}
-        self.block_names: Dict[int, str] = {}
+        self.value_names: Dict[Value, str] = {}
+        self.block_names: Dict[Block, str] = {}
         self.next_value = 0
         self.next_block = 0
 
     def name_value(self, value: Value) -> str:
-        key = id(value)
-        if key not in self.value_names:
-            self.value_names[key] = f"%{self.next_value}"
+        name = self.value_names.get(value)
+        if name is None:
+            name = f"%{self.next_value}"
+            self.value_names[value] = name
             self.next_value += 1
-        return self.value_names[key]
+        return name
 
     def name_block_arg(self, value: Value) -> str:
         return self.name_value(value)
 
     def name_block(self, block: Block) -> str:
-        key = id(block)
-        if key not in self.block_names:
-            self.block_names[key] = f"^bb{self.next_block}"
+        name = self.block_names.get(block)
+        if name is None:
+            name = f"^bb{self.next_block}"
+            self.block_names[block] = name
             self.next_block += 1
-        return self.block_names[key]
+        return name
 
 
 def print_attribute(attribute: Attribute) -> str:
@@ -182,4 +191,4 @@ def value_name(op: Operation, value: Value) -> str:
     """The ``%N`` name ``value`` would get when printing ``op``."""
     printer = Printer()
     printer.print_op(op)
-    return printer.names.value_names.get(id(value), "<unknown>")
+    return printer.names.value_names.get(value, "<unknown>")

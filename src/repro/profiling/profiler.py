@@ -110,6 +110,28 @@ class Profiler:
         self.worklist = WorklistStats()
         self.invalidation = InvalidationStats()
         self.service = ServiceStats()
+        # Structural-digest traffic is recorded process-globally in
+        # repro.ir.core.DIGEST_STATS (the memo lives on the ops, not on
+        # any profiler); snapshot the baseline so this instance reports
+        # only the deltas accrued during its own lifetime.
+        from ..ir.core import DIGEST_STATS
+
+        self._digest_baseline = DIGEST_STATS.snapshot()
+
+    # -- structural-digest deltas -------------------------------------------
+
+    def digest_counters(self) -> Dict[str, int]:
+        """Memo hits / recomputes / invalidations since construction."""
+        from ..ir.core import DIGEST_STATS
+
+        hits, recomputes, invalidations = DIGEST_STATS.snapshot()
+        base_hits, base_recomputes, base_invalidations = \
+            self._digest_baseline
+        return {
+            "hash_hits": hits - base_hits,
+            "hash_recomputes": recomputes - base_recomputes,
+            "hash_invalidations": invalidations - base_invalidations,
+        }
 
     # -- recording entry points ---------------------------------------------
 
@@ -287,6 +309,20 @@ class Profiler:
                 )
             lines.append("")
 
+        digests = self.digest_counters()
+        if any(digests.values()):
+            hits = digests["hash_hits"]
+            recomputes = digests["hash_recomputes"]
+            total = hits + recomputes
+            rate = hits / total if total else 0.0
+            lines.append("  Structural hashing")
+            lines.append(
+                f"    memo hit rate: {rate:.1%}  "
+                f"(hits: {hits}  recomputes: {recomputes})  "
+                f"invalidations: {digests['hash_invalidations']}"
+            )
+            lines.append("")
+
         if len(lines) == 3:
             lines.append("  (nothing recorded)")
         return "\n".join(lines).rstrip()
@@ -337,4 +373,5 @@ class Profiler:
                 "mean_queue_depth": service.mean_queue_depth,
                 "max_queue_depth": service.max_queue_depth,
             },
+            "hashing": self.digest_counters(),
         }

@@ -178,6 +178,9 @@ class ConversionRewriter(PatternRewriter):
                 continue
             old_type = arg.type
             arg.type = new_type
+            parent = block.parent_op
+            if parent is not None:
+                parent.invalidate_digest()
             if arg.has_uses() and block.ops:
                 self.set_insertion_point_to_start(block)
                 cast = self.create(

@@ -89,6 +89,10 @@ class PatternRewriter(Builder):
     def modify_op_in_place(self, op: Operation,
                            mutation: Callable[[], None]) -> None:
         mutation()
+        # Arbitrary mutations (direct op.name / attribute-dict writes)
+        # bypass the structural-digest hooks in repro.ir.core; this is
+        # the rewriter-level catch-all for them.
+        op.invalidate_digest()
         for listener in self.listeners:
             listener.notify_op_modified(op)
 

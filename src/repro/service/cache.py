@@ -1,11 +1,21 @@
 """Content-addressed compilation cache.
 
-A compilation is a pure function of (printed payload, printed script,
-parameter bindings, entry point); the cache keys on the SHA-256 of that
-tuple and stores the *printed* result module plus its outcome
-classification. Storage is a thread-safe in-memory LRU with an optional
-on-disk spill directory so warm results survive process restarts; disk
-hits are promoted back into memory.
+A compilation is a pure function of (payload, script, parameter
+bindings, entry point); the cache keys on the SHA-256 of that tuple
+and stores the *printed* result module plus its outcome
+classification. Storage is a thread-safe in-memory LRU with an
+optional on-disk spill directory so warm results survive process
+restarts; disk hits are promoted back into memory.
+
+Two granularities share the store:
+
+* the **whole-job tier** — one entry per (payload, script, params,
+  entry point) tuple, looked up by :func:`cache_key`;
+* the **function tier** — one entry per (``func.func`` digest, script
+  digest, params) tuple, looked up by :func:`function_key`. Two
+  payloads sharing 9 of 10 functions share 9 entries here, because
+  the key is the *structural digest* of the function
+  (:func:`repro.ir.hashing.op_digest`), not the module it arrived in.
 
 Only successful (or silenceable-with-output) compilations are cached —
 definite failures are cheap to reproduce and usually transient in a
@@ -15,8 +25,10 @@ development loop, and caching them would mask fixes to transform code.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import struct
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -26,35 +38,76 @@ from typing import Dict, Mapping, Optional, Sequence, Union
 #: ``transform.param.constant`` op can carry).
 ParamBindings = Mapping[str, Union[int, Sequence[int]]]
 
+_LEN = struct.Struct(">Q").pack
+
+
+def _frame(hasher, data: bytes) -> None:
+    """Length-prefix ``data`` so adjacent fields can never be re-split.
+
+    A bare separator byte lets ``("a\\x00b", "c")`` and ``("a",
+    "b\\x00c")`` collide onto one digest; an 8-byte big-endian length
+    prefix on every field makes the framing injective.
+    """
+    hasher.update(_LEN(len(data)))
+    hasher.update(data)
+
+
+def _params_blob(params: Optional[ParamBindings]) -> bytes:
+    """Canonical, *typed* serialization of parameter bindings.
+
+    ``json.dumps`` with ``sort_keys=True`` over the native values keeps
+    ``{"n": 1}`` and ``{"n": true}`` distinct (``1`` vs ``true``) and
+    makes binding order irrelevant. Scalars normalize to singleton
+    lists because ``bind_parameters`` treats ``4`` and ``[4]``
+    identically — the key must too.
+    """
+    if not params:
+        return b""
+    canonical = {
+        key: list(value) if isinstance(value, (list, tuple)) else [value]
+        for key, value in params.items()
+    }
+    return json.dumps(canonical, sort_keys=True,
+                      separators=(",", ":")).encode()
+
 
 def cache_key(payload_text: str, script_text: str,
               params: Optional[ParamBindings] = None,
               entry_point: Optional[str] = None) -> str:
-    """SHA-256 content address of one compilation job.
+    """SHA-256 content address of one whole compilation job."""
+    hasher = hashlib.sha256(b"repro-cache-key-v2")
+    _frame(hasher, payload_text.encode())
+    _frame(hasher, script_text.encode())
+    _frame(hasher, _params_blob(params))
+    _frame(hasher, entry_point.encode() if entry_point else b"")
+    return hasher.hexdigest()
 
-    Parameters are serialized sorted by name so binding order never
-    changes the key.
+
+def function_key(func_digest: str, script_digest: str,
+                 params: Optional[ParamBindings] = None) -> str:
+    """SHA-256 address of one function's compilation under one script.
+
+    ``func_digest`` is the structural digest of a standalone
+    ``func.func`` (:func:`repro.ir.hashing.op_digest`), so the key is
+    independent of which module the function appeared in and of its
+    printed-name numbering.
     """
-    hasher = hashlib.sha256()
-    hasher.update(payload_text.encode())
-    hasher.update(b"\x00")
-    hasher.update(script_text.encode())
-    hasher.update(b"\x00")
-    if params:
-        canonical = sorted(
-            (str(k), list(v) if isinstance(v, (list, tuple)) else [v])
-            for k, v in params.items()
-        )
-        hasher.update(json.dumps(canonical).encode())
-    hasher.update(b"\x00")
-    if entry_point:
-        hasher.update(entry_point.encode())
+    hasher = hashlib.sha256(b"repro-fn-key-v1")
+    _frame(hasher, func_digest.encode())
+    _frame(hasher, script_digest.encode())
+    _frame(hasher, _params_blob(params))
     return hasher.hexdigest()
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction accounting, memory and disk tiers separately."""
+    """Hit/miss/eviction accounting, memory and disk tiers separately.
+
+    ``function_*`` count the per-function digest tier;
+    ``disk_corrupt`` counts undecodable disk entries that were evicted
+    on read (a corrupt file is unlinked the first time it is seen, so
+    it can never poison more than one lookup).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -62,6 +115,10 @@ class CacheStats:
     puts: int = 0
     disk_hits: int = 0
     disk_puts: int = 0
+    disk_corrupt: int = 0
+    function_hits: int = 0
+    function_misses: int = 0
+    function_puts: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -76,6 +133,10 @@ class CacheStats:
             "puts": self.puts,
             "disk_hits": self.disk_hits,
             "disk_puts": self.disk_puts,
+            "disk_corrupt": self.disk_corrupt,
+            "function_hits": self.function_hits,
+            "function_misses": self.function_misses,
+            "function_puts": self.function_puts,
             "hit_rate": self.hit_rate,
         }
 
@@ -86,30 +147,43 @@ class CachedResult:
 
     ``status`` is the job classification string ("success" or
     "silenceable"); ``output`` the printed result module;
-    ``diagnostics`` whatever warnings the run produced.
+    ``diagnostics`` whatever warnings the run produced;
+    ``output_digest`` the structural digest of the output module when
+    the producer computed one (lets consumers compare identity without
+    reparsing the text).
     """
 
     status: str
     output: str
     diagnostics: str = ""
+    output_digest: Optional[str] = None
 
     def to_json(self) -> str:
         return json.dumps({
             "status": self.status,
             "output": self.output,
             "diagnostics": self.diagnostics,
+            "output_digest": self.output_digest,
         })
 
     @staticmethod
     def from_json(text: str) -> "CachedResult":
         data = json.loads(text)
         return CachedResult(data["status"], data["output"],
-                            data.get("diagnostics", ""))
+                            data.get("diagnostics", ""),
+                            data.get("output_digest"))
 
 
 @dataclass
 class _Entry:
     result: CachedResult
+
+
+#: Namespace prefix separating function-tier entries from whole-job
+#: entries inside the shared LRU / disk directory.
+_FN_PREFIX = "fn-"
+
+_tmp_counter = itertools.count()
 
 
 class CompilationCache:
@@ -118,7 +192,9 @@ class CompilationCache:
     ``capacity`` bounds the in-memory tier (entries, not bytes — result
     modules are comparable in size for a given workload). ``disk_path``
     enables the on-disk tier: one JSON file per key, written on every
-    put, consulted on memory misses.
+    put, consulted on memory misses. Whole-job and function-tier
+    entries share both tiers (function keys are namespaced), so one
+    capacity bound governs total footprint.
     """
 
     def __init__(self, capacity: int = 256,
@@ -163,14 +239,40 @@ class CompilationCache:
             self._insert(key, result)
             self._disk_put(key, result)
 
+    def get_function(self, key: str) -> Optional[CachedResult]:
+        """Function-tier lookup (key from :func:`function_key`)."""
+        result = self.get(_FN_PREFIX + key)
+        with self._lock:
+            # get() above already counted the whole-cache hit/miss;
+            # mirror it into the per-tier counters.
+            if result is not None:
+                self.stats.function_hits += 1
+            else:
+                self.stats.function_misses += 1
+        return result
+
+    def put_function(self, key: str, result: CachedResult) -> None:
+        """Function-tier insert (key from :func:`function_key`)."""
+        self.put(_FN_PREFIX + key, result)
+        with self._lock:
+            self.stats.function_puts += 1
+
     def clear(self, disk: bool = False) -> None:
-        """Drop the memory tier (and the disk tier with ``disk=True``)."""
+        """Drop the memory tier (and the disk tier with ``disk=True``).
+
+        The disk sweep also removes orphaned ``*.tmp.*`` files left by
+        writers that died between creating a temp file and renaming it
+        into place.
+        """
         with self._lock:
             self._entries.clear()
             if disk and self.disk_path is not None:
                 for name in os.listdir(self.disk_path):
-                    if name.endswith(".json"):
-                        os.unlink(os.path.join(self.disk_path, name))
+                    if name.endswith(".json") or ".json.tmp." in name:
+                        try:
+                            os.unlink(os.path.join(self.disk_path, name))
+                        except OSError:
+                            pass
 
     # -- internals -----------------------------------------------------------
 
@@ -193,15 +295,32 @@ class CompilationCache:
         path = self._disk_file(key)
         try:
             with open(path) as handle:
-                return CachedResult.from_json(handle.read())
-        except (OSError, ValueError, KeyError):
+                text = handle.read()
+        except OSError:
+            return None
+        try:
+            return CachedResult.from_json(text)
+        except (ValueError, KeyError):
+            # The file exists but does not decode: truncated write,
+            # bit rot, or a foreign format. Evict it so subsequent
+            # lookups miss cleanly instead of re-parsing garbage
+            # forever.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            self.stats.disk_corrupt += 1
             return None
 
     def _disk_put(self, key: str, result: CachedResult) -> None:
         if self.disk_path is None:
             return
         path = self._disk_file(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
+        # Unique per call, not just per process: two threads writing
+        # the same key with a pid-only suffix race on one temp file and
+        # can os.replace() a partially rewritten one.
+        tmp = (f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+               f".{next(_tmp_counter)}")
         try:
             with open(tmp, "w") as handle:
                 handle.write(result.to_json())

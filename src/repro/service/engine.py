@@ -36,12 +36,38 @@ from concurrent.futures.thread import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from .cache import CachedResult, CompilationCache, cache_key
+from .cache import CachedResult, CompilationCache, cache_key, function_key
 from .worker import _ensure_registered, compile_job
 
 ParamBindings = Mapping[str, Union[int, Sequence[int]]]
 
 _job_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class _PayloadInfo:
+    """Derived facts about one payload text, memoized per raw text.
+
+    Only *derived* data (digest strings, attribute snapshot) is kept —
+    the parsed module is dropped, so nothing memoized can be mutated
+    by later work. ``func_digests``/``module_attrs`` are populated
+    only when the payload is a cleanly splittable all-function module
+    (see :func:`repro.service.sharding.shardable_functions`); the
+    attribute values themselves are immutable attribute objects.
+    """
+
+    digest: str
+    attrs_digest: str
+    module_attrs: Optional[Dict] = None
+    func_digests: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class _ScriptInfo:
+    """Derived facts about one script text, memoized per raw text."""
+
+    digest: str
+    func_shardable: bool = False
 
 
 class JobStatus(enum.Enum):
@@ -96,8 +122,12 @@ class JobResult:
     #: Content address of the job (shared by coalesced duplicates).
     key: str = ""
     cache_hit: bool = False
+    #: Structural digest of the output module (when known).
+    output_digest: Optional[str] = None
     #: The job waited on another in-flight execution of the same key.
     coalesced: bool = False
+    #: The output was assembled from per-function cache entries.
+    function_tier: bool = False
     #: Worker-side parse+interpret+print seconds (0.0 for cache hits).
     worker_seconds: float = 0.0
     #: End-to-end seconds inside the engine (queueing included).
@@ -121,6 +151,9 @@ class EngineStats:
     completed: int = 0
     executed: int = 0
     cache_hits: int = 0
+    #: Jobs whose output was assembled from per-function digest
+    #: cache entries (fully or after compiling only the misses).
+    function_tier_hits: int = 0
     coalesced: int = 0
     rejected: int = 0
     crashes: int = 0
@@ -145,6 +178,7 @@ class CompileEngine:
                  job_timeout: Optional[float] = None,
                  retry_crashed: bool = True,
                  normalize_keys: bool = True,
+                 function_tier: bool = True,
                  strict: bool = False,
                  profiler=None,
                  mp_context: Optional[str] = None):
@@ -155,9 +189,16 @@ class CompileEngine:
         self.preflight = preflight
         self.job_timeout = job_timeout
         self.retry_crashed = retry_crashed
-        #: Hash the *printed* (parse -> print normalized) payload and
-        #: script so formatting differences cannot split the cache.
+        #: Key jobs on *structural digests* of the parsed inputs so
+        #: formatting differences cannot split the cache. (Digest
+        #: equality implies byte-identical printed form, so this
+        #: subsumes the old parse->reprint normalization without the
+        #: whole-module string work on every lookup.)
         self.normalize_keys = normalize_keys
+        #: Consult/populate the per-function digest cache tier for
+        #: multi-function payloads under provably function-local
+        #: schedules (requires ``cache`` and ``normalize_keys``).
+        self.function_tier = function_tier
         self.strict = strict
         #: Optional :class:`repro.profiling.Profiler`; the engine feeds
         #: its service section (per-job wall time, cache traffic,
@@ -171,8 +212,10 @@ class CompileEngine:
         self._inflight: Dict[str, Future] = {}
         #: script text -> (ok, rendered diagnostics); the preflight memo.
         self._script_gate: Dict[str, Tuple[bool, str]] = {}
-        #: raw text -> normalized text memo for key normalization.
-        self._normalized: Dict[str, str] = {}
+        #: raw text -> derived digests, for key normalization and the
+        #: function tier (one parse per unique input text, ever).
+        self._payload_infos: Dict[str, _PayloadInfo] = {}
+        self._script_infos: Dict[str, _ScriptInfo] = {}
         self._cancelled = threading.Event()
         self.stats = EngineStats()
         if workers > 0:
@@ -246,17 +289,49 @@ class CompileEngine:
 
     # -- front-end stages ----------------------------------------------------
 
-    def _normalize(self, text: str, filename: str) -> str:
-        memo = self._normalized.get(text)
+    def _payload_info(self, text: str) -> _PayloadInfo:
+        memo = self._payload_infos.get(text)
         if memo is not None:
             return memo
+        from ..ir.hashing import attributes_digest, op_digest
         from ..ir.parser import parse
-        from ..ir.printer import print_op
+        from .sharding import shardable_functions
 
-        normalized = print_op(parse(text, filename))
+        payload = parse(text, "<payload>")
+        func_digests = None
+        module_attrs = None
+        if self.function_tier:
+            functions = shardable_functions(payload)
+            if functions is not None:
+                func_digests = tuple(op_digest(f) for f in functions)
+                module_attrs = dict(payload.attributes)
+        info = _PayloadInfo(
+            digest=op_digest(payload),
+            attrs_digest=attributes_digest(payload),
+            module_attrs=module_attrs,
+            func_digests=func_digests,
+        )
         with self._book_lock:
-            self._normalized[text] = normalized
-        return normalized
+            self._payload_infos[text] = info
+        return info
+
+    def _script_info(self, text: str) -> _ScriptInfo:
+        memo = self._script_infos.get(text)
+        if memo is not None:
+            return memo
+        from ..ir.hashing import op_digest
+        from ..ir.parser import parse
+        from .sharding import is_func_shardable
+
+        script = parse(text, "<script>")
+        info = _ScriptInfo(
+            digest=op_digest(script),
+            func_shardable=(self.function_tier
+                            and is_func_shardable(script)),
+        )
+        with self._book_lock:
+            self._script_infos[text] = info
+        return info
 
     def _check_script(self, script_text: str,
                       entry_point: Optional[str]) -> Tuple[bool, str]:
@@ -309,10 +384,16 @@ class CompileEngine:
 
         payload_text = job.payload_text
         script_text = job.script_text
+        payload_info: Optional[_PayloadInfo] = None
+        script_info: Optional[_ScriptInfo] = None
         if self.normalize_keys:
+            # Key on structural digests instead of reprinted text: one
+            # parse per unique input ever, O(digest) per job after.
+            # Workers receive the *raw* text — they parse and reprint
+            # themselves, so the output is identical either way.
             try:
-                payload_text = self._normalize(payload_text, "<payload>")
-                script_text = self._normalize(script_text, "<script>")
+                payload_info = self._payload_info(payload_text)
+                script_info = self._script_info(script_text)
             except Exception as error:
                 with self._book_lock:
                     self.stats.rejected += 1
@@ -333,8 +414,12 @@ class CompileEngine:
                     diagnostics=diagnostics,
                 )
 
-        key = cache_key(payload_text, script_text, job.params,
-                        job.entry_point)
+        if payload_info is not None and script_info is not None:
+            key = cache_key(payload_info.digest, script_info.digest,
+                            job.params, job.entry_point)
+        else:
+            key = cache_key(payload_text, script_text, job.params,
+                            job.entry_point)
         if self.cache is not None:
             cached = self.cache.get(key)
             if cached is not None:
@@ -345,6 +430,7 @@ class CompileEngine:
                     output=cached.output,
                     diagnostics=cached.diagnostics,
                     key=key, cache_hit=True,
+                    output_digest=cached.output_digest,
                 )
 
         # Single-flight: concurrent identical jobs share one execution.
@@ -364,15 +450,35 @@ class CompileEngine:
                 diagnostics=result.diagnostics, key=key,
                 coalesced=True, worker_seconds=result.worker_seconds,
                 attempts=result.attempts, stats=dict(result.stats),
+                output_digest=result.output_digest,
+                function_tier=result.function_tier,
             )
             return follower
 
         try:
-            result = self._execute(job, key, payload_text, script_text)
+            result = None
+            if (self.cache is not None
+                    and payload_info is not None
+                    and script_info is not None
+                    and script_info.func_shardable
+                    and payload_info.func_digests is not None
+                    # A single-function payload's shard is itself:
+                    # tier lookup would recurse onto this very job.
+                    and len(payload_info.func_digests) >= 2
+                    and job.entry_point is None):
+                result = self._assemble_from_function_tier(
+                    job, key, payload_info, script_info
+                )
+            if result is None:
+                result = self._execute(job, key, payload_text,
+                                       script_text)
+                self._populate_function_tier(
+                    job, result, payload_info, script_info
+                )
             if self.cache is not None and result.ok:
                 self.cache.put(key, CachedResult(
                     result.status.value, result.output or "",
-                    result.diagnostics,
+                    result.diagnostics, result.output_digest,
                 ))
         except BaseException as error:
             flight.set_exception(error)
@@ -383,6 +489,152 @@ class CompileEngine:
             with self._book_lock:
                 self._inflight.pop(key, None)
         return result
+
+    # -- function tier -------------------------------------------------------
+
+    def _function_payload_texts(
+            self, payload_text: str) -> Optional[List[str]]:
+        """One standalone single-function module text per top-level
+        func (attribute-less wrappers: function-tier entries must not
+        depend on which module a function arrived in)."""
+        from ..dialects import builtin
+        from ..ir.parser import parse
+        from ..ir.printer import print_op
+        from .sharding import shardable_functions
+
+        payload = parse(payload_text, "<payload>")
+        functions = shardable_functions(payload)
+        if functions is None:
+            return None
+        texts = []
+        for function in functions:
+            wrapper = builtin.module()
+            wrapper.body.append(function.clone())
+            texts.append(print_op(wrapper))
+        return texts
+
+    def _assemble_from_function_tier(
+            self, job: CompileJob, key: str,
+            payload_info: _PayloadInfo,
+            script_info: _ScriptInfo) -> Optional[JobResult]:
+        """Serve a multi-function job from per-function cache entries.
+
+        Functions whose (digest, script digest, params) entry is
+        present are reused; the rest are compiled as single-function
+        sub-jobs through :meth:`run_job` — which gives them the whole
+        pipeline for free (single-flight dedup against other parents
+        missing the same function, crash containment, retry) and lets
+        their own populate pass fill the tier. Returns None whenever
+        anything is less than a clean success — the caller falls back
+        to the whole-module execution path, keeping silenceable-skip
+        semantics whole-module.
+        """
+        assert self.cache is not None
+        entries = [
+            self.cache.get_function(
+                function_key(digest, script_info.digest, job.params)
+            )
+            for digest in payload_info.func_digests
+        ]
+
+        def usable(entry: Optional[CachedResult]) -> bool:
+            return (entry is not None and entry.status == "success"
+                    and not entry.diagnostics)
+
+        all_hit = all(usable(entry) for entry in entries)
+        if all_hit:
+            texts = [entry.output for entry in entries]
+        else:
+            if not any(usable(entry) for entry in entries):
+                # Nothing to reuse: the whole-module path is strictly
+                # better (one execution instead of N).
+                return None
+            sub_payloads = self._function_payload_texts(job.payload_text)
+            if (sub_payloads is None
+                    or len(sub_payloads) != len(entries)):
+                return None
+            texts = []
+            for index, entry in enumerate(entries):
+                if usable(entry):
+                    texts.append(entry.output)
+                    continue
+                sub = self.run_job(CompileJob(
+                    payload_text=sub_payloads[index],
+                    script_text=job.script_text,
+                    params=job.params,
+                    timeout=job.timeout,
+                    job_id=f"{job.job_id}/fn{index}",
+                ))
+                if sub.status is not JobStatus.SUCCESS or sub.diagnostics:
+                    return None
+                texts.append(sub.output or "")
+        from .sharding import assemble_functions
+
+        try:
+            output, output_digest = assemble_functions(
+                payload_info.module_attrs or {}, texts
+            )
+        except Exception:
+            return None
+        with self._book_lock:
+            self.stats.function_tier_hits += 1
+            if all_hit:
+                self.stats.cache_hits += 1
+        return JobResult(
+            job.job_id, JobStatus.SUCCESS, output=output,
+            key=key, cache_hit=all_hit, function_tier=True,
+            output_digest=output_digest,
+        )
+
+    def _populate_function_tier(
+            self, job: CompileJob, result: JobResult,
+            payload_info: Optional[_PayloadInfo],
+            script_info: Optional[_ScriptInfo]) -> None:
+        """After a clean whole-module success, store each output
+        function under its *input* function's digest.
+
+        Guarded by the same backstops as ``--jobs`` reassembly: the
+        output must still be an all-function module with unchanged
+        module attributes (digest compare) and an unchanged function
+        count — anything else means the schedule escaped the
+        function-local contract, and nothing is stored."""
+        if (self.cache is None
+                or payload_info is None
+                or script_info is None
+                or not script_info.func_shardable
+                or not payload_info.func_digests
+                or job.entry_point is not None
+                or result.status is not JobStatus.SUCCESS
+                or result.diagnostics
+                or not result.output):
+            return
+        from ..dialects import builtin
+        from ..ir.hashing import attributes_digest, op_digest
+        from ..ir.parser import parse
+        from ..ir.printer import print_op
+
+        try:
+            out = parse(result.output, "<output>")
+        except Exception:
+            return
+        if out.name != "builtin.module":
+            return
+        if attributes_digest(out) != payload_info.attrs_digest:
+            return
+        tops = list(out.regions[0].entry_block.ops)
+        if len(tops) != len(payload_info.func_digests):
+            return
+        if any(op.name != "func.func" for op in tops):
+            return
+        for digest, function in zip(payload_info.func_digests, tops):
+            wrapper = builtin.module()
+            out.regions[0].entry_block.remove(function)
+            wrapper.body.append(function)
+            self.cache.put_function(
+                function_key(digest, script_info.digest, job.params),
+                CachedResult("success", print_op(wrapper), "",
+                             op_digest(wrapper)),
+            )
 
     def _execute(self, job: CompileJob, key: str, payload_text: str,
                  script_text: str) -> JobResult:
@@ -462,6 +714,7 @@ class CompileEngine:
                 output=raw["output"], diagnostics=raw["diagnostics"],
                 key=key, worker_seconds=raw["wall_seconds"],
                 attempts=attempts, stats=dict(raw["stats"]),
+                output_digest=raw.get("output_digest"),
             )
 
     def run_batch(self, jobs: Sequence[CompileJob]) -> List[JobResult]:

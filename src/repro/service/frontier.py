@@ -248,6 +248,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="on-disk cache directory (off by default)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the compilation cache")
+    parser.add_argument("--no-function-cache", action="store_true",
+                        help="disable the per-function digest cache "
+                        "tier (whole-job caching still applies)")
     parser.add_argument("--no-preflight", action="store_true",
                         help="skip the static lint gate")
     parser.add_argument("--timeout", type=float, default=None,
@@ -295,6 +298,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache=cache,
         preflight=not args.no_preflight,
         job_timeout=args.timeout,
+        function_tier=not args.no_function_cache,
         profiler=profiler,
     )
 

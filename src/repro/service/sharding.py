@@ -100,23 +100,38 @@ def is_func_shardable(script: Operation) -> bool:
     return True
 
 
-def shard_payload(payload: Operation) -> Optional[List[Operation]]:
-    """Split a module into one single-function module per top-level
-    func; None when the top level holds anything but ``func.func``
-    (globals and declarations would need duplicating into every shard,
-    which stops the reassembled output being byte-identical)."""
+def shardable_functions(payload: Operation) -> Optional[List[Operation]]:
+    """The top-level ``func.func`` ops of a cleanly splittable module.
+
+    Returns the functions themselves (no cloning) when the module's
+    top level holds nothing but call-free ``func.func`` ops; None when
+    anything else appears at the top level (globals and declarations
+    would need duplicating into every shard, which stops reassembled
+    output being byte-identical) or any function contains a call
+    (cross-function references don't survive splitting).
+    """
     if payload.name != "builtin.module":
         return None
     tops = list(payload.regions[0].entry_block.ops)
-    if len(tops) < 2:
+    if not tops:
         return None
     if any(op.name != "func.func" for op in tops):
         return None
     for function in tops:
         for op in function.walk():
             if op.name in ("func.call", "llvm.call"):
-                # Cross-function references don't survive splitting.
                 return None
+    return tops
+
+
+def shard_payload(payload: Operation) -> Optional[List[Operation]]:
+    """Split a module into one single-function module per top-level
+    func; None when the module is not cleanly splittable (see
+    :func:`shardable_functions`) or has fewer than two functions
+    (nothing to fan out)."""
+    tops = shardable_functions(payload)
+    if tops is None or len(tops) < 2:
+        return None
     from ..dialects import builtin
 
     shards: List[Operation] = []
@@ -126,6 +141,36 @@ def shard_payload(payload: Operation) -> Optional[List[Operation]]:
         shard.body.append(function.clone())
         shards.append(shard)
     return shards
+
+
+def assemble_functions(module_attributes, func_texts: List[str]):
+    """Build one module from standalone function texts.
+
+    The inverse of per-function splitting: each text parses as a
+    single ``func.func`` (or a single-function module), the functions
+    are appended in order to a fresh module carrying
+    ``module_attributes``, and the module is printed once — global SSA
+    numbering therefore matches a whole-module compilation exactly.
+    Returns ``(printed_text, structural_digest)``; the digest comes
+    off the assembled module while it is in hand, so callers never
+    reparse the text to learn its identity.
+    """
+    from ..dialects import builtin
+    from ..ir.hashing import op_digest
+    from ..ir.parser import parse
+    from ..ir.printer import print_op
+
+    result = builtin.module()
+    result.attributes.update(module_attributes)
+    for index, text in enumerate(func_texts):
+        op = parse(text, f"<function {index}>")
+        if op.name == "builtin.module":
+            for child in list(op.regions[0].entry_block.ops):
+                result.body.append(child)
+        else:
+            result.body.append(op)
+    result.verify()
+    return print_op(result), op_digest(result)
 
 
 def reassemble_module(payload: Operation,
@@ -141,16 +186,21 @@ def reassemble_module(payload: Operation,
     original payload's: the schedule mutated the module op itself (a
     per-shard clone), which cannot be merged back faithfully — callers
     must fall back to the sequential whole-module path. This backstops
-    :func:`is_func_shardable` against any future whitelist hole."""
+    :func:`is_func_shardable` against any future whitelist hole.
+    Divergence is detected by comparing attribute digests
+    (:func:`repro.ir.hashing.attributes_digest`) — one hash per shard
+    instead of materializing and comparing attribute dictionaries."""
     from ..dialects import builtin
+    from ..ir.hashing import attributes_digest
     from ..ir.parser import parse
     from ..ir.printer import print_op
 
+    expected_attrs = attributes_digest(payload)
     result = builtin.module()
     result.attributes.update(payload.attributes)
     for index, text in enumerate(shard_texts):
         shard = parse(text, f"<shard {index}>")
-        if dict(shard.attributes) != dict(payload.attributes):
+        if attributes_digest(shard) != expected_attrs:
             return None
         for op in list(shard.regions[0].entry_block.ops):
             result.body.append(op)

@@ -81,6 +81,11 @@ def compile_job(payload_text: str, script_text: str,
         lets them propagate raw, in both modes;
     ``output``
         the printed transformed payload (None on definite failure);
+    ``output_digest``
+        the structural digest (:func:`repro.ir.hashing.op_digest`) of
+        the transformed payload, computed in the worker off the live
+        IR — consumers compare output identity by digest instead of
+        reparsing or re-hashing the text (None on failure);
     ``diagnostics``
         the rendered diagnostic stream (empty when clean);
     ``stats``
@@ -90,6 +95,7 @@ def compile_job(payload_text: str, script_text: str,
     """
     from ..core.errors import TransformInterpreterError
     from ..core.interpreter import TransformInterpreter
+    from ..ir.hashing import op_digest
     from ..ir.parser import parse
     from ..ir.printer import print_op
 
@@ -98,6 +104,7 @@ def compile_job(payload_text: str, script_text: str,
     interpreter = None
     status = "success"
     output: Optional[str] = None
+    output_digest: Optional[str] = None
     try:
         payload = parse(payload_text, "<payload>")
         script = parse(script_text, "<script>")
@@ -109,10 +116,12 @@ def compile_job(payload_text: str, script_text: str,
             status = "silenceable"
         payload.verify()
         output = print_op(payload)
+        output_digest = op_digest(payload)
     except TransformInterpreterError as error:
         return {
             "status": "definite",
             "output": None,
+            "output_digest": None,
             "diagnostics": str(error),
             "stats": _stats_dict(interpreter) if interpreter else {},
             "wall_seconds": time.perf_counter() - start,
@@ -130,6 +139,7 @@ def compile_job(payload_text: str, script_text: str,
         return {
             "status": "definite",
             "output": None,
+            "output_digest": None,
             "diagnostics": f"error: {type(error).__name__}: {error}",
             "stats": _stats_dict(interpreter) if interpreter else {},
             "wall_seconds": time.perf_counter() - start,
@@ -137,6 +147,7 @@ def compile_job(payload_text: str, script_text: str,
     return {
         "status": status,
         "output": output,
+        "output_digest": output_digest,
         "diagnostics": (interpreter.diagnostics.render()
                         if interpreter.diagnostics.diagnostics else ""),
         "stats": _stats_dict(interpreter),

@@ -137,6 +137,7 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
     callers fall back to the sequential whole-module path, which also
     reruns non-clean schedules so silenceable skip semantics stay
     whole-module."""
+    from .ir.hashing import op_digest
     from .service.engine import CompileEngine, CompileJob, JobStatus
     from .service.sharding import (
         is_func_shardable,
@@ -149,8 +150,23 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
     shards = shard_payload(payload)
     if shards is None:
         return None
+    # Structurally identical shards (same function cloned N times —
+    # common in generated payloads) compile once: dedupe by structural
+    # digest while the shard ops are in hand, then fan the one result
+    # back out positionally.
+    shard_for: List[int] = []
+    unique_texts: List[str] = []
+    seen: dict = {}
+    for shard in shards:
+        digest = op_digest(shard)
+        index = seen.get(digest)
+        if index is None:
+            index = len(unique_texts)
+            seen[digest] = index
+            unique_texts.append(print_op(shard))
+        shard_for.append(index)
     engine = CompileEngine(
-        workers=min(jobs, len(shards)),
+        workers=min(jobs, len(unique_texts)),
         cache=None,
         preflight=False,
         normalize_keys=False,
@@ -158,16 +174,18 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
         profiler=profiler,
     )
     try:
-        results = engine.run_batch([
-            CompileJob(payload_text=print_op(shard),
-                       script_text=script_text)
-            for shard in shards
+        unique_results = engine.run_batch([
+            CompileJob(payload_text=text, script_text=script_text)
+            for text in unique_texts
         ])
     finally:
         engine.shutdown()
-    if any(r.status is not JobStatus.SUCCESS for r in results):
+    if any(r.status is not JobStatus.SUCCESS for r in unique_results):
         return None
-    return reassemble_module(payload, [r.output or "" for r in results])
+    return reassemble_module(
+        payload,
+        [unique_results[index].output or "" for index in shard_for],
+    )
 
 
 def pipeline_opt(payload_text: str, pipeline: str, profiler=None) -> str:

@@ -1,0 +1,275 @@
+"""Structural digests: the print-identity contract, memoization, and
+ancestor-only invalidation (plus the printer id()-reuse regression)."""
+
+import gc
+import random
+import textwrap
+
+import pytest
+
+import repro.core  # noqa: F401 — registers transform ops
+import repro.dialects  # noqa: F401 — registers payload ops
+from repro.ir import attributes_digest, op_digest, parse, print_op
+from repro.ir.core import DIGEST_STATS
+from repro.ir.printer import _NameManager
+from repro.testing.fuzz import PayloadFuzzer
+
+MODULE = textwrap.dedent("""
+    "builtin.module"() ({
+      "func.func"() ({
+      ^bb0(%a: i32, %b: i32):
+        %0 = "arith.addi"(%a, %b) : (i32, i32) -> i32
+        %1 = "arith.muli"(%0, %a) : (i32, i32) -> i32
+        "func.return"(%1) : (i32) -> ()
+      }) {sym_name = "f0", function_type = (i32, i32) -> i32} : () -> ()
+      "func.func"() ({
+      ^bb0(%a: i32, %b: i32):
+        %0 = "arith.addi"(%a, %b) : (i32, i32) -> i32
+        %1 = "arith.muli"(%0, %a) : (i32, i32) -> i32
+        "func.return"(%1) : (i32) -> ()
+      }) {sym_name = "f0", function_type = (i32, i32) -> i32} : () -> ()
+    }) : () -> ()
+""").strip()
+
+BRANCHY = textwrap.dedent("""
+    "func.func"() ({
+    ^bb0(%c: i1, %x: i32):
+      "cf.cond_br"(%c)[^bb1, ^bb2] : (i1) -> ()
+    ^bb1:
+      "cf.br"()[^bb3] : () -> ()
+    ^bb2:
+      "cf.br"()[^bb3] : () -> ()
+    ^bb3:
+      "func.return"(%x) : (i32) -> ()
+    }) {sym_name = "g", function_type = (i1, i32) -> i32} : () -> ()
+""").strip()
+
+
+def _funcs(module):
+    return list(module.regions[0].entry_block.ops)
+
+
+class TestContract:
+    def test_same_text_same_digest(self):
+        assert op_digest(parse(MODULE)) == op_digest(parse(MODULE))
+
+    def test_clone_shares_digest_and_print(self):
+        module = parse(MODULE)
+        clone = module.clone()
+        assert op_digest(clone) == op_digest(module)
+        assert print_op(clone) == print_op(module)
+
+    def test_identical_sibling_functions_share_digest(self):
+        f0, f1 = _funcs(parse(MODULE))
+        assert op_digest(f0) == op_digest(f1)
+        assert print_op(f0) == print_op(f1)
+
+    def test_attribute_value_changes_digest(self):
+        a, b = parse(MODULE), parse(MODULE)
+        _funcs(b)[0].set_attr("sym_name", "other")
+        assert op_digest(a) != op_digest(b)
+
+    def test_int_vs_bool_attribute_distinct(self):
+        a, b = parse(MODULE), parse(MODULE)
+        _funcs(a)[0].set_attr("mark", 1)
+        _funcs(b)[0].set_attr("mark", True)
+        assert op_digest(a) != op_digest(b)
+
+    def test_operand_order_changes_digest(self):
+        a, b = parse(MODULE), parse(MODULE)
+        mul = _funcs(b)[0].regions[0].entry_block.ops[1]
+        mul.set_operands(list(reversed(mul.operands)))
+        assert op_digest(a) != op_digest(b)
+
+    def test_which_definition_matters_not_just_types(self):
+        # add(%a, %b) vs add(%a, %a): same op name, same types — the
+        # digest must encode *which* value each use refers to.
+        a, b = parse(MODULE), parse(MODULE)
+        add = _funcs(b)[0].regions[0].entry_block.ops[0]
+        args = _funcs(b)[0].regions[0].entry_block.args
+        add.set_operands([args[0], args[0]])
+        assert op_digest(a) != op_digest(b)
+
+    def test_successor_targets_matter(self):
+        a = parse(BRANCHY)
+        b = parse(BRANCHY)
+        blocks = b.regions[0].blocks
+        cond = blocks[0].ops[0]
+        cond.successors[0], cond.successors[1] = (
+            cond.successors[1], cond.successors[0],
+        )
+        b.invalidate_digest()
+        assert op_digest(a) != op_digest(b)
+        assert print_op(a) != print_op(b)
+
+    def test_block_order_matters(self):
+        a, b = parse(BRANCHY), parse(BRANCHY)
+        region = b.regions[0]
+        moved = region.blocks[1]
+        region.remove_block(moved)
+        region.insert_block(2, moved)
+        assert op_digest(a) != op_digest(b)
+
+    def test_attributes_digest_is_attrs_only(self):
+        a, b = parse(MODULE), parse(MODULE)
+        # Deep change: module attrs digest unaffected, op digest is.
+        _funcs(b)[0].set_attr("extra", 7)
+        assert attributes_digest(a) == attributes_digest(b)
+        assert op_digest(a) != op_digest(b)
+        b.set_attr("mark", 1)
+        assert attributes_digest(a) != attributes_digest(b)
+
+
+class TestMemoization:
+    def test_second_digest_is_a_memo_hit(self):
+        module = parse(MODULE)
+        op_digest(module)
+        hits = DIGEST_STATS.hits
+        op_digest(module)
+        assert DIGEST_STATS.hits == hits + 1
+
+    def test_mutation_invalidates_ancestors_only(self):
+        module = parse(MODULE)
+        op_digest(module)
+        f0, f1 = _funcs(module)
+        add = f0.regions[0].entry_block.ops[0]
+        sibling_digest = op_digest(f1)
+        add.set_attr("mark", 1)
+        # Exactly the ancestor chain is cleared...
+        assert add._digest is None
+        assert f0._digest is None
+        assert module._digest is None
+        # ... and nothing else.
+        assert f1._digest is not None
+        assert add.parent.ops[1]._digest is not None
+        assert op_digest(f1) == sibling_digest
+
+    def test_recompute_touches_only_the_dirty_chain(self):
+        module = parse(MODULE)
+        op_digest(module)
+        f0 = _funcs(module)[0]
+        add = f0.regions[0].entry_block.ops[0]
+        add.set_attr("mark", 2)
+        recomputes = DIGEST_STATS.recomputes
+        op_digest(module)
+        # module + func + the mutated op = 3 recomputes; every other
+        # subtree comes out of its memo.
+        assert DIGEST_STATS.recomputes - recomputes == 3
+
+    def test_erase_invalidates(self):
+        module = parse(MODULE)
+        before = op_digest(module)
+        f0 = _funcs(module)[0]
+        f0.regions[0].entry_block.ops[-1].erase()  # func.return
+        assert op_digest(module) != before
+
+    def test_invalidation_counter_advances(self):
+        module = parse(MODULE)
+        op_digest(module)
+        count = DIGEST_STATS.invalidations
+        _funcs(module)[0].set_attr("mark", 3)
+        assert DIGEST_STATS.invalidations == count + 1
+
+    def test_never_hashed_ir_mutation_is_cheap(self):
+        module = parse(MODULE)
+        count = DIGEST_STATS.invalidations
+        _funcs(module)[0].set_attr("mark", 4)
+        # No digest was ever computed: nothing to clear, not counted.
+        assert DIGEST_STATS.invalidations == count
+
+    def test_rewriter_catch_all_invalidates(self):
+        from repro.rewrite.pattern import PatternRewriter
+
+        module = parse(MODULE)
+        before = op_digest(module)
+        f0 = _funcs(module)[0]
+        rewriter = PatternRewriter()
+        # A raw attribute-dict write bypasses every core hook;
+        # modify_op_in_place is the contract for exactly this case.
+        rewriter.modify_op_in_place(
+            f0, lambda: f0.attributes.update(
+                {"mark": f0.attributes["sym_name"]}
+            )
+        )
+        assert op_digest(module) != before
+
+
+class TestFuzzCorpusProperty:
+    """The contract over the fuzz corpus, both directions: equal
+    digests => byte-identical prints, and a single-op mutation changes
+    the ancestor digests and only those."""
+
+    SEEDS = range(12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_equal_digest_implies_identical_print(self, seed):
+        module = PayloadFuzzer(random.Random(seed)).module()
+        regenerated = PayloadFuzzer(random.Random(seed)).module()
+        assert op_digest(module) == op_digest(regenerated)
+        assert print_op(module) == print_op(regenerated)
+        # Within one module: group every op by digest; any two ops
+        # sharing a digest must print byte-identically.
+        groups = {}
+        for op in module.walk():
+            groups.setdefault(op_digest(op), set()).add(print_op(op))
+        for prints in groups.values():
+            assert len(prints) == 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_mutation_changes_exactly_the_ancestor_chain(self, seed):
+        rng = random.Random(seed ^ 0x5EED)
+        module = PayloadFuzzer(rng).module()
+        ops = list(module.walk())
+        before = {id(op): op_digest(op) for op in ops}
+        victim = rng.choice(ops)
+        victim.set_attr("fuzz_mark", rng.randint(0, 1 << 30))
+        chain = {id(victim)}
+        node = victim.parent_op
+        while node is not None:
+            chain.add(id(node))
+            node = node.parent_op
+        for op in ops:
+            if id(op) in chain:
+                assert op_digest(op) != before[id(op)]
+            else:
+                assert op_digest(op) == before[id(op)]
+
+
+class TestPrinterNameTables:
+    """Regression for the id()-reuse class: the printer's name tables
+    must hold the Value/Block objects (strong references), never bare
+    ``id()`` integers that a dead object's successor can inherit."""
+
+    def test_names_survive_value_death(self):
+        manager = _NameManager()
+        module = parse(MODULE)
+        block = _funcs(module)[0].regions[0].entry_block
+        mul = block.ops[1]
+        first = manager.name_value(mul.results[0])
+        # Kill the op (and our handles to it), then allocate a burst
+        # of fresh values: with id()-keyed tables one of them can
+        # inherit the dead result's integer and alias its name.
+        block.ops[-1].erase()  # func.return, mul's only user
+        mul.erase()
+        del mul, block
+        gc.collect()
+        fresh = parse(MODULE)
+        names = {first}
+        count = 1
+        for op in fresh.walk():
+            for result in op.results:
+                names.add(manager.name_value(result))
+                count += 1
+        assert len(names) == count
+
+    def test_print_after_erase_and_allocate_roundtrips(self):
+        module = parse(MODULE)
+        print_op(module)
+        f0 = _funcs(module)[0]
+        f0.regions[0].entry_block.ops[-1].erase()
+        gc.collect()
+        replacement = parse(MODULE)
+        text = print_op(module)
+        assert print_op(parse(text)) == text
+        assert print_op(parse(print_op(replacement))) == \
+            print_op(replacement)

@@ -1,0 +1,198 @@
+"""The per-function digest cache tier: reuse across overlapping
+payloads, byte-identity with whole-module compilation, and the gates
+that keep it out of non-distributing jobs."""
+
+import repro.core  # noqa: F401 — registers transform ops
+import repro.dialects  # noqa: F401 — registers payload ops
+from repro.service import (
+    CompilationCache,
+    CompileEngine,
+    CompileJob,
+    JobStatus,
+)
+
+from .test_engine import UNROLL
+from .test_sharding import MODULE_ANNOTATE, SINGLE, _func, _module
+
+F0, F1, F2 = _func("f0", 8), _func("f1", 4), _func("f2", 16)
+
+
+def _engine(cache=None, function_tier=True):
+    return CompileEngine(workers=0, cache=cache, preflight=False,
+                         function_tier=function_tier)
+
+
+def _reference(payload):
+    """Whole-module compilation with the tier disabled."""
+    engine = _engine(cache=None, function_tier=False)
+    try:
+        result = engine.run_job(
+            CompileJob(payload_text=payload, script_text=UNROLL)
+        )
+    finally:
+        engine.shutdown()
+    assert result.status is JobStatus.SUCCESS
+    return result.output
+
+
+class TestOverlapReuse:
+    def test_shared_function_hits_across_payloads(self):
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            first = engine.run_job(CompileJob(
+                payload_text=_module(F0, F1), script_text=UNROLL))
+            assert first.status is JobStatus.SUCCESS
+            assert not first.function_tier
+            # f0 and f1 are now in the function tier; a payload
+            # sharing f0 only re-compiles f2.
+            second = engine.run_job(CompileJob(
+                payload_text=_module(F0, F2), script_text=UNROLL))
+        finally:
+            engine.shutdown()
+        assert second.status is JobStatus.SUCCESS
+        assert second.function_tier
+        assert not second.cache_hit  # f2 had to be compiled
+        assert engine.stats.function_tier_hits == 1
+        assert cache.stats.function_hits >= 1
+        assert second.output == _reference(_module(F0, F2))
+
+    def test_reordered_functions_assemble_from_tier_alone(self):
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            engine.run_job(CompileJob(
+                payload_text=_module(F0, F1), script_text=UNROLL))
+            executed = engine.stats.executed
+            swapped = engine.run_job(CompileJob(
+                payload_text=_module(F1, F0), script_text=UNROLL))
+        finally:
+            engine.shutdown()
+        assert swapped.status is JobStatus.SUCCESS
+        assert swapped.function_tier and swapped.cache_hit
+        # Both functions came from the tier: nothing executed.
+        assert engine.stats.executed == executed
+        assert swapped.output == _reference(_module(F1, F0))
+
+    def test_assembled_output_cached_at_whole_job_tier(self):
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            engine.run_job(CompileJob(
+                payload_text=_module(F0, F1), script_text=UNROLL))
+            engine.run_job(CompileJob(
+                payload_text=_module(F1, F0), script_text=UNROLL))
+            again = engine.run_job(CompileJob(
+                payload_text=_module(F1, F0), script_text=UNROLL))
+        finally:
+            engine.shutdown()
+        # Third run: plain whole-job hit, no assembly needed.
+        assert again.cache_hit and not again.function_tier
+
+    def test_output_digest_reported(self):
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            result = engine.run_job(CompileJob(
+                payload_text=_module(F0, F1), script_text=UNROLL))
+        finally:
+            engine.shutdown()
+        assert result.output_digest is not None
+        from repro.ir import op_digest, parse
+
+        assert op_digest(parse(result.output)) == result.output_digest
+
+
+class TestByteIdentity:
+    def test_tier_output_matches_whole_module_for_batch(self):
+        payloads = [
+            _module(F0, F1),
+            _module(F0, F2),
+            _module(F1, F2, F0),
+            _module(F2, F1),
+        ]
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            results = [
+                engine.run_job(CompileJob(payload_text=payload,
+                                          script_text=UNROLL))
+                for payload in payloads
+            ]
+        finally:
+            engine.shutdown()
+        for payload, result in zip(payloads, results):
+            assert result.status is JobStatus.SUCCESS
+            assert result.output == _reference(payload)
+        # The overlap actually exercised the tier.
+        assert engine.stats.function_tier_hits >= 1
+
+
+class TestTierGates:
+    def test_single_function_payload_skips_tier(self):
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            result = engine.run_job(CompileJob(
+                payload_text=SINGLE, script_text=UNROLL))
+        finally:
+            engine.shutdown()
+        assert result.status is JobStatus.SUCCESS
+        assert not result.function_tier
+        # ... but its function still populates the tier for reuse by
+        # multi-function payloads that contain it.
+        assert cache.stats.function_puts == 1
+
+    def test_non_distributing_schedule_never_uses_tier(self):
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            first = engine.run_job(CompileJob(
+                payload_text=_module(F0, F1),
+                script_text=MODULE_ANNOTATE))
+            second = engine.run_job(CompileJob(
+                payload_text=_module(F0, F2),
+                script_text=MODULE_ANNOTATE))
+        finally:
+            engine.shutdown()
+        assert first.status is JobStatus.SUCCESS
+        assert second.status is JobStatus.SUCCESS
+        assert engine.stats.function_tier_hits == 0
+        assert cache.stats.function_puts == 0
+
+    def test_disabled_tier_never_consulted(self):
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache, function_tier=False)
+        try:
+            engine.run_job(CompileJob(
+                payload_text=_module(F0, F1), script_text=UNROLL))
+            engine.run_job(CompileJob(
+                payload_text=_module(F0, F2), script_text=UNROLL))
+        finally:
+            engine.shutdown()
+        assert engine.stats.function_tier_hits == 0
+        assert cache.stats.function_puts == 0
+        assert cache.stats.function_hits == 0
+
+    def test_entry_point_jobs_skip_tier(self):
+        # UNROLL has an unnamed sequence; an explicit entry point is
+        # enough to disqualify tier participation regardless.
+        cache = CompilationCache(capacity=64)
+        engine = _engine(cache)
+        try:
+            engine.run_job(CompileJob(
+                payload_text=_module(F0, F1), script_text=UNROLL,
+                entry_point="main"))
+        finally:
+            engine.shutdown()
+        assert cache.stats.function_puts == 0
+
+    def test_no_cache_means_no_tier(self):
+        engine = _engine(cache=None)
+        try:
+            result = engine.run_job(CompileJob(
+                payload_text=_module(F0, F1), script_text=UNROLL))
+        finally:
+            engine.shutdown()
+        assert result.status is JobStatus.SUCCESS
+        assert not result.function_tier

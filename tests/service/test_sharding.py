@@ -194,3 +194,53 @@ class TestJobsEquivalence:
         assert sharded is not None
         assert sharded == transform_opt(MULTI, FUNC_ANNOTATE, jobs=1)
         assert sharded.count("marked") == 3
+
+
+class TestShardableFunctions:
+    def test_returns_the_functions_without_cloning(self):
+        from repro.service.sharding import shardable_functions
+
+        payload = parse(MULTI)
+        functions = shardable_functions(payload)
+        assert functions is not None and len(functions) == 3
+        tops = list(payload.regions[0].entry_block.ops)
+        assert all(f is top for f, top in zip(functions, tops))
+
+    def test_single_function_is_splittable_here(self):
+        # Unlike shard_payload (which wants >= 2 to fan out), the
+        # function tier caches single-function modules too.
+        from repro.service.sharding import shardable_functions
+
+        assert shardable_functions(parse(SINGLE)) is not None
+        assert shard_payload(parse(SINGLE)) is None
+
+    def test_calls_and_foreign_tops_refused(self):
+        from repro.service.sharding import shardable_functions
+
+        with_global = _module(
+            _func("f0"),
+            '"llvm.mlir.global"() {sym_name = "g"} : () -> ()',
+        )
+        assert shardable_functions(parse(with_global)) is None
+
+
+class TestAssembleFunctions:
+    def test_matches_whole_module_print(self):
+        from repro.ir.hashing import op_digest
+        from repro.service.sharding import assemble_functions
+
+        payload = parse(MULTI)
+        tops = list(payload.regions[0].entry_block.ops)
+        texts = [print_op(f) for f in tops]
+        text, digest = assemble_functions(dict(payload.attributes), texts)
+        assert text == print_op(payload)
+        assert digest == op_digest(parse(MULTI))
+
+    def test_accepts_single_function_module_wrappers(self):
+        from repro.service.sharding import assemble_functions
+
+        payload = parse(MULTI)
+        shards = shard_payload(payload)
+        texts = [print_op(shard) for shard in shards]
+        text, _ = assemble_functions(dict(payload.attributes), texts)
+        assert text == print_op(payload)
