@@ -100,6 +100,29 @@ class ServiceStats:
         return self.queue_depth_sum / self.queue_samples
 
 
+@dataclass
+class ResilienceStats:
+    """Fault-recovery accounting for the compile service.
+
+    Fed by :class:`repro.service.engine.CompileEngine` whenever a
+    resilience policy acts: a retry is granted (with its backoff), a
+    job digest is quarantined (:data:`JobStatus.POISONED`), or the
+    pool-health monitor trips and degrades the engine to in-process
+    execution. All zeros unless faults (real or injected via
+    :mod:`repro.testing.faults`) actually occurred.
+    """
+
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    quarantined: int = 0
+    pool_degradations: int = 0
+
+    @property
+    def any(self) -> bool:
+        return bool(self.retries or self.quarantined
+                    or self.pool_degradations)
+
+
 class Profiler:
     """Collects timing/counter data from the transform hot paths."""
 
@@ -110,6 +133,7 @@ class Profiler:
         self.worklist = WorklistStats()
         self.invalidation = InvalidationStats()
         self.service = ServiceStats()
+        self.resilience = ResilienceStats()
         # Structural-digest traffic is recorded process-globally in
         # repro.ir.core.DIGEST_STATS (the memo lives on the ops, not on
         # any profiler); snapshot the baseline so this instance reports
@@ -203,6 +227,16 @@ class Profiler:
 
     def record_worker_restart(self) -> None:
         self.service.worker_restarts += 1
+
+    def record_retry(self, backoff_seconds: float = 0.0) -> None:
+        self.resilience.retries += 1
+        self.resilience.backoff_seconds += backoff_seconds
+
+    def record_quarantine(self) -> None:
+        self.resilience.quarantined += 1
+
+    def record_pool_degradation(self) -> None:
+        self.resilience.pool_degradations += 1
 
     @contextmanager
     def time_pass(self, name: str) -> Iterator[None]:
@@ -309,6 +343,17 @@ class Profiler:
                 )
             lines.append("")
 
+        resilience = self.resilience
+        if resilience.any:
+            lines.append("  Resilience")
+            lines.append(
+                f"    retries: {resilience.retries}  "
+                f"(backoff: {resilience.backoff_seconds * 1e3:.3f} ms)  "
+                f"quarantined: {resilience.quarantined}  "
+                f"pool degradations: {resilience.pool_degradations}"
+            )
+            lines.append("")
+
         digests = self.digest_counters()
         if any(digests.values()):
             hits = digests["hash_hits"]
@@ -372,6 +417,12 @@ class Profiler:
                 "queue_samples": service.queue_samples,
                 "mean_queue_depth": service.mean_queue_depth,
                 "max_queue_depth": service.max_queue_depth,
+            },
+            "resilience": {
+                "retries": self.resilience.retries,
+                "backoff_seconds": self.resilience.backoff_seconds,
+                "quarantined": self.resilience.quarantined,
+                "pool_degradations": self.resilience.pool_degradations,
             },
             "hashing": self.digest_counters(),
         }

@@ -16,16 +16,29 @@ Layers (each its own module):
   binds parameters, interprets and prints entirely job-locally;
 * :mod:`repro.service.engine` — job scheduling: static preflight
   rejection, in-flight deduplication, per-job timeouts, cancellation,
-  and retry-once crash containment over the worker pool;
+  and policy-driven crash containment over the worker pool;
+* :mod:`repro.service.resilience` — the recovery policies the engine
+  runs under: configurable retry/backoff, poison-job quarantine, and
+  crash-loop pool-health monitoring;
 * :mod:`repro.service.sharding` — conservative per-function fan-out
   used by ``repro-opt --jobs N``;
 * :mod:`repro.service.frontier` — the asyncio front-end (bounded
   queue, backpressure) and the ``repro-batch`` CLI.
+
+Fault tolerance is testable: every failure-handling path above can be
+driven deterministically by :mod:`repro.testing.faults`.
 """
 
 from .cache import CachedResult, CacheStats, CompilationCache, cache_key
 from .engine import CompileEngine, CompileJob, JobResult, JobStatus
-from .frontier import ServiceFrontier
+from .frontier import ServiceClosedError, ServiceFrontier
+from .resilience import (
+    JobQuarantine,
+    PoolHealthMonitor,
+    PoolHealthPolicy,
+    QuarantinePolicy,
+    RetryPolicy,
+)
 from .sharding import is_func_shardable, reassemble_module, shard_payload
 from .worker import bind_parameters, compile_job
 
@@ -35,8 +48,14 @@ __all__ = [
     "CompilationCache",
     "CompileEngine",
     "CompileJob",
+    "JobQuarantine",
     "JobResult",
     "JobStatus",
+    "PoolHealthMonitor",
+    "PoolHealthPolicy",
+    "QuarantinePolicy",
+    "RetryPolicy",
+    "ServiceClosedError",
     "ServiceFrontier",
     "bind_parameters",
     "cache_key",

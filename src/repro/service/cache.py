@@ -20,19 +20,29 @@ Two granularities share the store:
 Only successful (or silenceable-with-output) compilations are cached —
 definite failures are cheap to reproduce and usually transient in a
 development loop, and caching them would mask fixes to transform code.
+
+The disk tier **degrades gracefully**: an unusable cache directory,
+ENOSPC/EACCES mid-write, or a storm of corrupt entries demotes the
+cache to memory-only (``stats.degraded``, with a counted
+``disk_errors`` warning) instead of ever failing a lookup or a job —
+a sick disk slows the service down, it does not take it down.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import itertools
 import json
 import os
 import struct
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Union
+
+from ..testing.faults import FaultPlan, FaultSite
 
 #: Parameter bindings: name -> int or list of ints (the values a
 #: ``transform.param.constant`` op can carry).
@@ -116,6 +126,12 @@ class CacheStats:
     disk_hits: int = 0
     disk_puts: int = 0
     disk_corrupt: int = 0
+    #: I/O failures (ENOSPC, EACCES, unusable directory, ...) on the
+    #: disk tier; every one is survived, and enough of them demote the
+    #: cache to memory-only (``degraded``).
+    disk_errors: int = 0
+    #: True once the disk tier was demoted to memory-only.
+    degraded: bool = False
     function_hits: int = 0
     function_misses: int = 0
     function_puts: int = 0
@@ -134,6 +150,8 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "disk_puts": self.disk_puts,
             "disk_corrupt": self.disk_corrupt,
+            "disk_errors": self.disk_errors,
+            "degraded": self.degraded,
             "function_hits": self.function_hits,
             "function_misses": self.function_misses,
             "function_puts": self.function_puts,
@@ -198,16 +216,57 @@ class CompilationCache:
     """
 
     def __init__(self, capacity: int = 256,
-                 disk_path: Optional[str] = None):
+                 disk_path: Optional[str] = None,
+                 max_disk_errors: int = 8,
+                 faults: Optional[FaultPlan] = None):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if max_disk_errors < 1:
+            raise ValueError("max_disk_errors must be >= 1")
         self.capacity = capacity
         self.disk_path = disk_path
+        #: Disk I/O errors + corrupt entries tolerated before the disk
+        #: tier is demoted to memory-only.
+        self.max_disk_errors = max_disk_errors
+        #: Deterministic fault schedule (testing only; None in prod).
+        self.faults = faults
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
         self._lock = threading.Lock()
         if disk_path is not None:
-            os.makedirs(disk_path, exist_ok=True)
+            try:
+                os.makedirs(disk_path, exist_ok=True)
+            except OSError as error:
+                # An unusable cache directory must not fail the
+                # service — run memory-only from the start.
+                self.stats.disk_errors += 1
+                self._degrade_disk(f"cache directory unusable: {error}")
+
+    @property
+    def degraded(self) -> bool:
+        """True once the disk tier was demoted to memory-only."""
+        return self.stats.degraded
+
+    def _degrade_disk(self, reason: str) -> None:
+        """Demote to memory-only (idempotent). Called under the cache
+        lock on I/O paths; safe without it in ``__init__``."""
+        if self.stats.degraded:
+            return
+        self.stats.degraded = True
+        warnings.warn(
+            f"repro compilation cache: disk tier degraded to "
+            f"memory-only after {self.stats.disk_errors} I/O error(s) "
+            f"and {self.stats.disk_corrupt} corrupt entrie(s): {reason}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _record_disk_trouble(self, reason: str) -> None:
+        """Count one disk error and demote once the budget is spent."""
+        self.stats.disk_errors += 1
+        if (self.stats.disk_errors + self.stats.disk_corrupt
+                >= self.max_disk_errors):
+            self._degrade_disk(reason)
 
     def __len__(self) -> int:
         with self._lock:
@@ -215,7 +274,15 @@ class CompilationCache:
 
     # -- lookup / insert -----------------------------------------------------
 
-    def get(self, key: str) -> Optional[CachedResult]:
+    def get(self, key: str,
+            count_miss: bool = True) -> Optional[CachedResult]:
+        """Look ``key`` up in memory, then on disk.
+
+        ``count_miss=False`` suppresses the miss counter for
+        re-lookups that already counted one (the engine's
+        single-flight leader double-checks the cache after winning
+        the in-flight slot); hits always count.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -230,7 +297,8 @@ class CompilationCache:
                 self.stats.disk_hits += 1
                 self._insert(key, result)
                 return result
-            self.stats.misses += 1
+            if count_miss:
+                self.stats.misses += 1
             return None
 
     def put(self, key: str, result: CachedResult) -> None:
@@ -267,7 +335,11 @@ class CompilationCache:
         with self._lock:
             self._entries.clear()
             if disk and self.disk_path is not None:
-                for name in os.listdir(self.disk_path):
+                try:
+                    names = os.listdir(self.disk_path)
+                except OSError:
+                    names = []
+                for name in names:
                     if name.endswith(".json") or ".json.tmp." in name:
                         try:
                             os.unlink(os.path.join(self.disk_path, name))
@@ -290,30 +362,41 @@ class CompilationCache:
         return os.path.join(self.disk_path, f"{key}.json")
 
     def _disk_get(self, key: str) -> Optional[CachedResult]:
-        if self.disk_path is None:
+        if self.disk_path is None or self.stats.degraded:
             return None
         path = self._disk_file(key)
         try:
             with open(path) as handle:
                 text = handle.read()
-        except OSError:
+        except FileNotFoundError:
+            # A normal miss, not a sick disk.
             return None
+        except OSError as error:
+            self._record_disk_trouble(f"read failed: {error}")
+            return None
+        if self.faults is not None and self.faults.fire(
+                FaultSite.DISK_READ_CORRUPT, key):
+            # Injected bit rot: hand the decoder garbage.
+            text = text[: len(text) // 2] + "\x00corrupt"
         try:
             return CachedResult.from_json(text)
         except (ValueError, KeyError):
             # The file exists but does not decode: truncated write,
             # bit rot, or a foreign format. Evict it so subsequent
             # lookups miss cleanly instead of re-parsing garbage
-            # forever.
+            # forever; a storm of these demotes the tier entirely.
             try:
                 os.unlink(path)
             except OSError:
                 pass
             self.stats.disk_corrupt += 1
+            if (self.stats.disk_errors + self.stats.disk_corrupt
+                    >= self.max_disk_errors):
+                self._degrade_disk("corrupt-entry storm")
             return None
 
     def _disk_put(self, key: str, result: CachedResult) -> None:
-        if self.disk_path is None:
+        if self.disk_path is None or self.stats.degraded:
             return
         path = self._disk_file(key)
         # Unique per call, not just per process: two threads writing
@@ -322,13 +405,18 @@ class CompilationCache:
         tmp = (f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
                f".{next(_tmp_counter)}")
         try:
+            if self.faults is not None and self.faults.fire(
+                    FaultSite.DISK_WRITE_ERROR, key):
+                raise OSError(errno.ENOSPC,
+                              "injected: no space left on device")
             with open(tmp, "w") as handle:
                 handle.write(result.to_json())
             os.replace(tmp, path)
             self.stats.disk_puts += 1
-        except OSError:
+        except OSError as error:
             # Disk tier is best-effort; memory tier already holds it.
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            self._record_disk_trouble(f"write failed: {error}")

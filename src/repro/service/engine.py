@@ -13,10 +13,29 @@ The engine takes :class:`CompileJob`\\ s and produces
    leader's result instead of occupying a second worker;
 4. **the pool** — a ``ProcessPoolExecutor``; IR crosses the process
    boundary as text. Per-job timeouts kill the hung worker and restart
-   the pool so the slot is reclaimed (TIMEOUT), a worker crash
-   (``BrokenProcessPool``) restarts the pool and retries the job once
-   (then CRASHED), mirroring the PR 2 silenceable / definite / crash
-   classification one level up.
+   the pool so the slot is reclaimed (TIMEOUT); a worker crash
+   (``BrokenProcessPool``) restarts the pool, mirroring the PR 2
+   silenceable / definite / crash classification one level up.
+
+Failure handling is driven by the resilience policies of
+:mod:`repro.service.resilience` rather than hardcoded reflexes:
+
+* a :class:`~repro.service.resilience.RetryPolicy` decides how many
+  attempts a job gets, which failure statuses are retry-eligible, and
+  the exponential backoff (deterministic jitter keyed on the job's
+  content address) between attempts;
+* a :class:`~repro.service.resilience.QuarantinePolicy` circuit-breaks
+  poison jobs: content that crashes/hangs the pool ``threshold`` times
+  reports POISONED instead of restarting the pool forever;
+* a :class:`~repro.service.resilience.PoolHealthPolicy` detects crash
+  loops (too many pool restarts in a sliding window) and degrades the
+  engine to in-process execution with a diagnostic — reduced
+  throughput, preserved liveness.
+
+A :class:`~repro.testing.faults.FaultPlan` can be attached to inject
+deterministic faults at the pool boundary (worker crash, worker hang,
+pool break) — the chaos harness uses this to exercise every one of the
+recovery paths above on every CI run.
 
 ``workers=0`` runs jobs in-process, strictly sequentially, through the
 *same* worker function — the reference semantics pooled execution must
@@ -36,7 +55,15 @@ from concurrent.futures.thread import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..testing.faults import FaultPlan, FaultSite
 from .cache import CachedResult, CompilationCache, cache_key, function_key
+from .resilience import (
+    JobQuarantine,
+    PoolHealthMonitor,
+    PoolHealthPolicy,
+    QuarantinePolicy,
+    RetryPolicy,
+)
 from .worker import _ensure_registered, compile_job
 
 ParamBindings = Mapping[str, Union[int, Sequence[int]]]
@@ -80,13 +107,17 @@ class JobStatus(enum.Enum):
     DEFINITE = "definite"
     #: Refused by static preflight before reaching a worker.
     REJECTED = "rejected"
-    #: The worker process died (twice, when retry is enabled).
+    #: The worker process died on every attempt the retry policy allowed.
     CRASHED = "crashed"
     #: The per-job deadline elapsed; the hung worker was killed and
     #: the pool restarted so its slot is reclaimed.
     TIMEOUT = "timeout"
     #: Cancelled before a worker picked it up.
     CANCELLED = "cancelled"
+    #: Quarantined by the circuit breaker: this content crashed or
+    #: hung the pool often enough that it is no longer allowed near a
+    #: worker (see :class:`repro.service.resilience.QuarantinePolicy`).
+    POISONED = "poisoned"
 
 
 @dataclass(frozen=True)
@@ -160,6 +191,13 @@ class EngineStats:
     worker_restarts: int = 0
     timeouts: int = 0
     cancelled: int = 0
+    #: Extra executions granted by the retry policy (beyond the first).
+    retries: int = 0
+    #: Jobs that finished POISONED (quarantined by the circuit breaker).
+    quarantined: int = 0
+    #: Times the engine degraded to in-process execution after
+    #: crash-loop detection (0 or 1 per engine lifetime).
+    pool_degradations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -181,7 +219,11 @@ class CompileEngine:
                  function_tier: bool = True,
                  strict: bool = False,
                  profiler=None,
-                 mp_context: Optional[str] = None):
+                 mp_context: Optional[str] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 quarantine: Optional[QuarantinePolicy] = QuarantinePolicy(),
+                 pool_health: Optional[PoolHealthPolicy] = PoolHealthPolicy(),
+                 faults: Optional[FaultPlan] = None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -189,6 +231,27 @@ class CompileEngine:
         self.preflight = preflight
         self.job_timeout = job_timeout
         self.retry_crashed = retry_crashed
+        #: How failed pool executions are re-attempted. The legacy
+        #: ``retry_crashed`` flag maps onto the default policy
+        #: (retry-once on crash, no backoff) so existing callers keep
+        #: their exact semantics.
+        self.retry_policy = retry_policy if retry_policy is not None else (
+            RetryPolicy(max_attempts=2) if retry_crashed
+            else RetryPolicy.none()
+        )
+        #: Circuit breaker for poison jobs (None disables).
+        self._quarantine = (JobQuarantine(quarantine)
+                            if quarantine is not None else None)
+        #: Crash-loop detector (None disables degradation).
+        self._pool_health = (PoolHealthMonitor(pool_health)
+                             if pool_health is not None else None)
+        #: Deterministic fault schedule (testing only; None in prod).
+        self.faults = faults
+        #: True once crash-loop detection has demoted the engine to
+        #: in-process execution; ``degraded_diagnostic`` carries the
+        #: one-line reason.
+        self._degraded = False
+        self.degraded_diagnostic: Optional[str] = None
         #: Key jobs on *structural digests* of the parsed inputs so
         #: formatting differences cannot split the cache. (Digest
         #: equality implies byte-identical printed form, so this
@@ -239,40 +302,100 @@ class CompileEngine:
             initializer=_ensure_registered,
         )
 
-    def _ensure_pool(self) -> Tuple[ProcessPoolExecutor, int]:
+    def _ensure_pool(self) -> Tuple[Optional[ProcessPoolExecutor], int]:
+        """The live pool, or (None, generation) once degraded."""
         with self._pool_lock:
+            if self._degraded:
+                return None, self._pool_generation
             if self._pool is None:
                 self._pool = self._make_pool()
             return self._pool, self._pool_generation
 
-    def _restart_pool(self, seen_generation: int,
-                      kill: bool = False) -> None:
-        """Replace a broken pool; no-op if another thread already did.
+    @staticmethod
+    def _terminate(pool: ProcessPoolExecutor) -> None:
+        """Forcibly kill a pool's worker processes (hung workers never
+        notice ``shutdown(wait=False)`` and would run forever)."""
+        processes = getattr(pool, "_processes", None)
+        for process in list((processes or {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
 
-        ``kill`` forcibly terminates the old pool's worker processes
-        first — the timeout path needs this because a worker stuck in
-        a job never notices ``shutdown(wait=False)`` and would occupy
-        its slot forever. Other jobs in flight on the killed pool fail
-        with ``BrokenProcessPool`` and take the crash/retry path
-        against the fresh generation."""
+    def _restart_pool(self, seen_generation: int,
+                      kill_pool: Optional[ProcessPoolExecutor] = None
+                      ) -> None:
+        """Replace a broken pool — exactly once per generation.
+
+        The generation guard guarantees that N threads observing the
+        same broken/hung generation produce exactly one restart (and
+        one ``worker_restarts`` increment): the first thread through
+        the lock replaces the pool and bumps the generation, the rest
+        see the mismatch and back off. ``kill_pool`` is the pool whose
+        worker the caller timed out: its processes are terminated
+        *even when the generation already moved on* — the loser of the
+        race must still reap its hung worker, which the winner's
+        ``shutdown(wait=False)`` left running. Other jobs in flight on
+        a killed pool fail with ``BrokenProcessPool`` and take the
+        crash/retry path against the fresh generation."""
+        stale: Optional[ProcessPoolExecutor] = None
+        restarted = False
         with self._pool_lock:
-            if self._pool_generation != seen_generation:
-                return
-            if self._pool is not None:
-                if kill:
-                    processes = getattr(self._pool, "_processes", None)
-                    for process in list((processes or {}).values()):
-                        try:
-                            process.terminate()
-                        except Exception:
-                            pass
-                self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = self._make_pool()
-            self._pool_generation += 1
+            if self._pool_generation != seen_generation or self._degraded:
+                # Lost the race (or the engine degraded meanwhile):
+                # no second restart, but the hung workers the caller
+                # wanted dead still need killing.
+                stale = kill_pool
+            else:
+                if kill_pool is not None:
+                    self._terminate(kill_pool)
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = self._make_pool()
+                self._pool_generation += 1
+                restarted = True
+        if stale is not None:
+            self._terminate(stale)
+        if not restarted:
+            return
         with self._book_lock:
             self.stats.worker_restarts += 1
         if self.profiler is not None:
             self.profiler.record_worker_restart()
+        if (self._pool_health is not None
+                and self._pool_health.record_restart()):
+            self._degrade_pool()
+
+    def _degrade_pool(self) -> None:
+        """Crash-loop detected: give up on the pool and fall back to
+        in-process execution. Liveness over throughput — jobs keep
+        completing (slowly, one at a time) instead of feeding an
+        endless spawn/crash cycle."""
+        with self._pool_lock:
+            if self._degraded:
+                return
+            self._degraded = True
+            pool, self._pool = self._pool, None
+            self._pool_generation += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._terminate(pool)
+        policy = self._pool_health.policy
+        self.degraded_diagnostic = (
+            f"warning: worker pool degraded to in-process execution "
+            f"after {policy.max_restarts} restarts within "
+            f"{policy.window_seconds:g}s (crash-loop detection); "
+            "throughput is reduced but the service stays live"
+        )
+        with self._book_lock:
+            self.stats.pool_degradations += 1
+        if self.profiler is not None:
+            self.profiler.record_pool_degradation()
+
+    @property
+    def degraded(self) -> bool:
+        """True once crash-loop detection disabled the pool."""
+        return self._degraded
 
     def shutdown(self, wait: bool = True) -> None:
         self._cancelled.set()
@@ -433,6 +556,11 @@ class CompileEngine:
                     output_digest=cached.output_digest,
                 )
 
+        # Circuit breaker: content that repeatedly crashed or hung the
+        # pool is refused before it can occupy (and kill) a worker.
+        if self._quarantine is not None and self._quarantine.is_poisoned(key):
+            return self._poisoned_result(job, key)
+
         # Single-flight: concurrent identical jobs share one execution.
         leader = False
         with self._book_lock:
@@ -441,10 +569,35 @@ class CompileEngine:
                 flight = Future()
                 self._inflight[key] = flight
                 leader = True
+        if leader and self.cache is not None:
+            # Double-check after winning the in-flight slot: a previous
+            # leader for this key may have populated the cache between
+            # our (missed) lookup above and its in-flight pop. Without
+            # this the duplicate recompiles; stats-neutral on a miss
+            # (the first lookup already counted it).
+            cached = self.cache.get(key, count_miss=False)
+            if cached is not None:
+                with self._book_lock:
+                    self.stats.cache_hits += 1
+                    self._inflight.pop(key, None)
+                result = JobResult(
+                    job.job_id, JobStatus(cached.status),
+                    output=cached.output,
+                    diagnostics=cached.diagnostics,
+                    key=key, cache_hit=True,
+                    output_digest=cached.output_digest,
+                )
+                flight.set_result(result)
+                return result
         if not leader:
             result: JobResult = flight.result()
             with self._book_lock:
                 self.stats.coalesced += 1
+                if result.status is JobStatus.POISONED:
+                    self.stats.quarantined += 1
+            if (result.status is JobStatus.POISONED
+                    and self.profiler is not None):
+                self.profiler.record_quarantine()
             follower = JobResult(
                 job.job_id, result.status, output=result.output,
                 diagnostics=result.diagnostics, key=key,
@@ -636,26 +789,81 @@ class CompileEngine:
                              op_digest(wrapper)),
             )
 
+    def _poisoned_result(self, job: CompileJob, key: str,
+                         attempts: int = 0) -> JobResult:
+        """A POISONED terminal result, with stats/profiler accounting."""
+        assert self._quarantine is not None
+        with self._book_lock:
+            self.stats.quarantined += 1
+        if self.profiler is not None:
+            self.profiler.record_quarantine()
+        return JobResult(
+            job.job_id, JobStatus.POISONED, key=key,
+            diagnostics=self._quarantine.diagnose(key),
+            attempts=attempts,
+        )
+
+    def _handle_pool_failure(self, job: CompileJob, key: str,
+                             status: str, attempts: int,
+                             terminal: JobResult
+                             ) -> Tuple[bool, Optional[JobResult]]:
+        """Shared crash/timeout policy step.
+
+        Records the failure with the quarantine ledger, then asks the
+        retry policy for another attempt. Returns ``(retry, result)``:
+        retry=True means the caller should loop (after the deterministic
+        backoff already slept here); otherwise ``result`` is the
+        terminal outcome — ``terminal`` as given, or POISONED when this
+        failure tripped the circuit breaker."""
+        if self._quarantine is not None:
+            self._quarantine.record_failure(key, status)
+            if self._quarantine.is_poisoned(key):
+                return False, self._poisoned_result(job, key, attempts)
+        if self.retry_policy.should_retry(status, attempts):
+            backoff = self.retry_policy.backoff_seconds(key, attempts)
+            with self._book_lock:
+                self.stats.retries += 1
+            if self.profiler is not None:
+                self.profiler.record_retry(backoff)
+            if backoff > 0:
+                time.sleep(backoff)
+            return True, None
+        return False, terminal
+
     def _execute(self, job: CompileJob, key: str, payload_text: str,
                  script_text: str) -> JobResult:
         """Actually run the job on a worker (or inline), with timeout
-        handling and retry-once crash containment."""
+        handling and policy-driven crash/timeout containment."""
         timeout = job.timeout if job.timeout is not None else self.job_timeout
-        max_attempts = 2 if (self.retry_crashed and self.workers > 0) else 1
         attempts = 0
         while True:
             attempts += 1
-            if self.workers == 0:
+            pool = None
+            if self.workers > 0 and not self._degraded:
+                pool, generation = self._ensure_pool()
+            if pool is None:
+                # workers=0 reference mode, or the engine degraded
+                # after crash-loop detection. Worker faults are never
+                # injected here: an in-process os._exit would take the
+                # whole service down, which is exactly what the pool
+                # boundary exists to prevent.
                 raw = compile_job(
                     payload_text, script_text, job.params,
                     job.entry_point, strict=self.strict,
                 )
             else:
-                pool, generation = self._ensure_pool()
+                inject = None
+                if self.faults is not None:
+                    inject = self.faults.worker_fault(key, attempts)
                 future = pool.submit(
                     compile_job, payload_text, script_text, job.params,
-                    job.entry_point, self.strict,
+                    job.entry_point, self.strict, inject,
                 )
+                if self.faults is not None and self.faults.fire(
+                        FaultSite.POOL_BREAK, f"{key}#attempt{attempts}"):
+                    # Externally induced pool collapse (OOM killer):
+                    # every worker dies under the dispatched job.
+                    self._terminate(pool)
                 try:
                     raw = future.result(timeout=timeout)
                 except TimeoutError:
@@ -664,32 +872,43 @@ class CompileEngine:
                     # the pool. Kill it and restart the generation so
                     # the slot is actually reclaimed.
                     future.cancel()
-                    self._restart_pool(generation, kill=True)
+                    self._restart_pool(generation, kill_pool=pool)
                     with self._book_lock:
                         self.stats.timeouts += 1
-                    return JobResult(
-                        job.job_id, JobStatus.TIMEOUT, key=key,
-                        diagnostics=(
-                            f"error: job exceeded its {timeout:g}s "
-                            "deadline; hung worker killed and the "
-                            "pool restarted"
+                    retry, result = self._handle_pool_failure(
+                        job, key, "timeout", attempts,
+                        JobResult(
+                            job.job_id, JobStatus.TIMEOUT, key=key,
+                            diagnostics=(
+                                f"error: job exceeded its {timeout:g}s "
+                                "deadline; hung worker killed and the "
+                                "pool restarted"
+                            ),
+                            attempts=attempts,
                         ),
-                        attempts=attempts,
                     )
+                    if retry:
+                        continue
+                    return result
                 except BrokenProcessPool as error:
                     with self._book_lock:
                         self.stats.crashes += 1
                     self._restart_pool(generation)
-                    if attempts < max_attempts:
-                        continue
-                    return JobResult(
-                        job.job_id, JobStatus.CRASHED, key=key,
-                        diagnostics=(
-                            "error: worker process died while "
-                            f"compiling this job (x{attempts}): {error}"
+                    retry, result = self._handle_pool_failure(
+                        job, key, "crashed", attempts,
+                        JobResult(
+                            job.job_id, JobStatus.CRASHED, key=key,
+                            diagnostics=(
+                                "error: worker process died while "
+                                f"compiling this job (x{attempts}): "
+                                f"{error}"
+                            ),
+                            attempts=attempts,
                         ),
-                        attempts=attempts,
                     )
+                    if retry:
+                        continue
+                    return result
                 except Exception as error:
                     # Either a worker-side exception pickled back with
                     # strict=True (compile_job encodes everything else

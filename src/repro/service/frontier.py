@@ -27,10 +27,20 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
+from ..testing.faults import FaultPlan, FaultSite
 from .cache import CompilationCache
 from .engine import CompileEngine, CompileJob, JobResult
+from .resilience import PoolHealthPolicy, QuarantinePolicy, RetryPolicy
 
 _SENTINEL = None
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised by :meth:`ServiceFrontier.submit` once the frontier has
+    begun (or finished) closing: the dispatchers are draining toward
+    their shutdown sentinels, so a newly enqueued job would sit behind
+    them forever and its submitter would hang. Subclasses
+    ``RuntimeError`` so pre-existing broad handlers keep working."""
 
 
 class ServiceFrontier:
@@ -57,6 +67,7 @@ class ServiceFrontier:
         self._threads: Optional[ThreadPoolExecutor] = None
         self._depth = 0
         self._depth_lock = threading.Lock()
+        self._closing = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -70,6 +81,7 @@ class ServiceFrontier:
     async def start(self) -> None:
         if self._queue is not None:
             return
+        self._closing = False
         self._queue = asyncio.Queue(maxsize=self.max_queue)
         self._threads = ThreadPoolExecutor(
             max_workers=self.dispatchers,
@@ -81,9 +93,15 @@ class ServiceFrontier:
         ]
 
     async def close(self) -> None:
-        """Drain the queue, stop dispatchers, release the thread pool."""
+        """Drain the queue, stop dispatchers, release the thread pool.
+
+        Jobs admitted before ``close()`` are still drained to
+        completion; ``submit()`` calls arriving from here on raise
+        :class:`ServiceClosedError` — enqueueing behind the shutdown
+        sentinels would hang the submitter forever."""
         if self._queue is None:
             return
+        self._closing = True
         for _ in self._tasks:
             await self._queue.put(_SENTINEL)
         await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -105,7 +123,14 @@ class ServiceFrontier:
 
         Blocks (asynchronously) while the queue is full — backpressure
         propagates to the producer rather than growing a buffer.
+        Raises :class:`ServiceClosedError` once :meth:`close` has begun
+        (a job enqueued behind the shutdown sentinels would never be
+        dispatched and this coroutine would hang forever).
         """
+        if self._closing:
+            raise ServiceClosedError(
+                "frontier is closed (or draining); submit() rejected"
+            )
         if self._queue is None:
             raise RuntimeError("frontier is not started")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -147,6 +172,14 @@ class ServiceFrontier:
                 self._depth -= 1
             if future.cancelled():
                 continue
+            faults: Optional[FaultPlan] = getattr(
+                self.engine, "faults", None
+            )
+            if faults is not None and faults.fire(
+                    FaultSite.QUEUE_STALL, job.job_id):
+                # Injected dispatcher stall: the job sits decoded but
+                # undispatched, as under a briefly wedged event loop.
+                await asyncio.sleep(faults.stall_seconds)
             try:
                 result = await loop.run_in_executor(
                     self._threads, self.engine.run_job, job
@@ -187,6 +220,30 @@ def _parse_params(items: Optional[List[str]]) -> Optional[dict]:
         values = [int(v) for v in raw.split(",")]
         params[name] = values[0] if len(values) == 1 else values
     return params
+
+
+def _parse_faults(items: Optional[List[str]]) -> Optional[dict]:
+    """Parse repeated ``--fault SITE=RATE`` into a rates mapping for
+    :class:`FaultPlan` (the seed arrives separately via
+    ``--fault-seed``)."""
+    if not items:
+        return None
+    valid = {site.value for site in FaultSite}
+    rates = {}
+    for item in items:
+        name, _, raw = item.partition("=")
+        if not _:
+            raise ValueError(f"--fault expects SITE=RATE, got {item!r}")
+        if name not in valid:
+            raise ValueError(
+                f"unknown fault site {name!r} "
+                f"(choose from: {', '.join(sorted(valid))})"
+            )
+        rate = float(raw)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"--fault rate must be in [0, 1], got {raw!r}")
+        rates[name] = rate
+    return rates
 
 
 def _stem(path: str) -> str:
@@ -255,6 +312,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the static lint gate")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-job deadline in seconds")
+    parser.add_argument("--max-attempts", type=int, default=2,
+                        help="executions per job before its failure is "
+                        "terminal (default 2 = retry once; 1 disables "
+                        "retries)")
+    parser.add_argument("--retry-timeouts", action="store_true",
+                        help="also retry jobs that hit the --timeout "
+                        "deadline (by default only crashes retry)")
+    parser.add_argument("--backoff", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="base retry backoff; doubles per attempt "
+                        "with deterministic jitter (default 0 = "
+                        "immediate)")
+    parser.add_argument("--quarantine-after", type=int, default=3,
+                        metavar="N",
+                        help="pool failures by one job digest before it "
+                        "is poisoned (default 3; 0 disables quarantine)")
+    parser.add_argument("--crash-loop-limit", type=int, default=6,
+                        metavar="N",
+                        help="pool restarts inside a 30s window before "
+                        "the engine degrades to in-process execution "
+                        "(default 6; 0 disables the monitor)")
+    parser.add_argument("--fault", action="append", default=None,
+                        metavar="SITE=RATE",
+                        help="inject deterministic faults (repeatable), "
+                        "e.g. --fault worker_crash=0.1; sites: "
+                        + ", ".join(sorted(s.value for s in FaultSite)))
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault plan (default 0)")
     parser.add_argument("--entry-point", default=None,
                         help="named sequence to run")
     parser.add_argument("--param", action="append", default=None,
@@ -279,8 +364,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             for path in _collect(entry)
         ]
         params = _parse_params(args.param)
+        fault_rates = _parse_faults(args.fault)
     except (FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.max_attempts < 1:
+        print("error: --max-attempts must be >= 1", file=sys.stderr)
         return 2
     if not payload_files or not schedule_files:
         print("error: no payloads or no schedules found", file=sys.stderr)
@@ -289,10 +378,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     from ..profiling import Profiler
 
     profiler = Profiler()
+    faults = (FaultPlan(seed=args.fault_seed, rates=fault_rates)
+              if fault_rates else None)
+    retry_statuses = frozenset(
+        {"crashed", "timeout"} if args.retry_timeouts else {"crashed"}
+    )
+    retry_policy = (
+        RetryPolicy(max_attempts=args.max_attempts,
+                    retry_statuses=retry_statuses,
+                    base_backoff=args.backoff)
+        if args.max_attempts > 1 else RetryPolicy.none()
+    )
+    quarantine = (QuarantinePolicy(threshold=args.quarantine_after)
+                  if args.quarantine_after > 0 else None)
+    pool_health = (PoolHealthPolicy(max_restarts=args.crash_loop_limit)
+                   if args.crash_loop_limit > 0 else None)
     cache = None
     if not args.no_cache:
         cache = CompilationCache(capacity=args.cache_size,
-                                 disk_path=args.cache_dir)
+                                 disk_path=args.cache_dir,
+                                 faults=faults)
     engine = CompileEngine(
         workers=args.jobs,
         cache=cache,
@@ -300,6 +405,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         job_timeout=args.timeout,
         function_tier=not args.no_function_cache,
         profiler=profiler,
+        retry_policy=retry_policy,
+        quarantine=quarantine,
+        pool_health=pool_health,
+        faults=faults,
     )
 
     payload_labels = _unique_labels(payload_files)
@@ -354,6 +463,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "cache": cache.stats.as_dict() if cache is not None else None,
             "profiler": profiler.to_json(),
         }
+        if faults is not None:
+            metrics["faults"] = {
+                "seed": faults.seed,
+                "injected": faults.injected,
+                "schedule": faults.schedule(),
+            }
+        if engine.degraded:
+            metrics["degraded"] = engine.degraded_diagnostic
         with open(args.json, "w") as handle:
             json.dump(metrics, handle, indent=2)
     return 1 if failures else 0

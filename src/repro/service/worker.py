@@ -66,7 +66,8 @@ def bind_parameters(script: Operation, params: ParamBindings) -> int:
 def compile_job(payload_text: str, script_text: str,
                 params: Optional[ParamBindings] = None,
                 entry_point: Optional[str] = None,
-                strict: bool = False) -> Dict[str, object]:
+                strict: bool = False,
+                inject: Optional[str] = None) -> Dict[str, object]:
     """Compile one (payload, script, params) job; returns a plain dict.
 
     The return value is deliberately pickle-friendly (strings and
@@ -92,7 +93,22 @@ def compile_job(payload_text: str, script_text: str,
         the interpreter's counters, job-local by construction;
     ``wall_seconds``
         in-worker wall time (parse + interpret + print).
+
+    ``inject`` is the fault-injection hook for the chaos harness
+    (:mod:`repro.testing.faults`): ``"crash"`` kills this worker
+    process outright (no exception barrier can contain ``os._exit``),
+    ``"hang"`` blocks it past any deadline. Both fire *before* any
+    compilation state exists — they model infrastructure death, not
+    compile bugs — and are only ever passed by an engine running a
+    :class:`~repro.testing.faults.FaultPlan` on a pooled execution.
     """
+    if inject == "crash":
+        import os
+
+        os._exit(3)
+    elif inject == "hang":
+        time.sleep(3600.0)
+
     from ..core.errors import TransformInterpreterError
     from ..core.interpreter import TransformInterpreter
     from ..ir.hashing import op_digest

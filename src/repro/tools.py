@@ -139,6 +139,7 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
     whole-module."""
     from .ir.hashing import op_digest
     from .service.engine import CompileEngine, CompileJob, JobStatus
+    from .service.resilience import RetryPolicy
     from .service.sharding import (
         is_func_shardable,
         reassemble_module,
@@ -165,6 +166,9 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
             seen[digest] = index
             unique_texts.append(print_op(shard))
         shard_for.append(index)
+    # No retries here: any shard failure makes this helper return None
+    # and the caller rerun the whole module sequentially, so paying for
+    # a second pooled attempt first only delays the fallback.
     engine = CompileEngine(
         workers=min(jobs, len(unique_texts)),
         cache=None,
@@ -172,6 +176,7 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
         normalize_keys=False,
         strict=strict,
         profiler=profiler,
+        retry_policy=RetryPolicy.none(),
     )
     try:
         unique_results = engine.run_batch([

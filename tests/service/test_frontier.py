@@ -2,10 +2,18 @@
 
 import asyncio
 import json
+import threading
 
 import pytest
 
-from repro.service import CompilationCache, CompileEngine, CompileJob
+from repro.service import (
+    CompilationCache,
+    CompileEngine,
+    CompileJob,
+    JobResult,
+    JobStatus,
+    ServiceClosedError,
+)
 from repro.service.frontier import (
     ServiceFrontier,
     _unique_labels,
@@ -118,6 +126,70 @@ class TestFrontier:
                 await frontier.close()
 
         asyncio.run(go())
+
+    def test_submit_after_close_raises_instead_of_hanging(self):
+        # Regression: a job enqueued behind the shutdown sentinels was
+        # never dispatched and its submitter awaited forever.
+        async def go():
+            with CompileEngine(workers=0) as engine:
+                frontier = ServiceFrontier(engine)
+                await frontier.start()
+                await frontier.close()
+                with pytest.raises(ServiceClosedError):
+                    await asyncio.wait_for(frontier.submit(_job()),
+                                           timeout=5.0)
+
+        asyncio.run(go())
+
+    def test_submit_during_drain_raises_but_admitted_jobs_finish(self):
+        # A dispatcher is mid-job (blocked in the engine) while
+        # close() drains: a late submit must fail fast, and the job
+        # admitted before close() must still complete.
+        class _SlowEngine:
+            workers = 0
+            profiler = None
+            faults = None
+
+            def __init__(self):
+                self.release = threading.Event()
+
+            def run_job(self, job):
+                assert self.release.wait(10.0)
+                return JobResult(job.job_id, JobStatus.SUCCESS)
+
+        async def go():
+            engine = _SlowEngine()
+            frontier = ServiceFrontier(engine, dispatchers=1)
+            await frontier.start()
+            admitted = asyncio.ensure_future(
+                frontier.submit(_job(job_id="admitted"))
+            )
+            # Let the dispatcher pick the job up and block in run_job.
+            await asyncio.sleep(0.05)
+            closer = asyncio.ensure_future(frontier.close())
+            await asyncio.sleep(0.05)
+            with pytest.raises(ServiceClosedError):
+                await frontier.submit(_job(job_id="late"))
+            engine.release.set()
+            await asyncio.wait_for(closer, timeout=10.0)
+            result = await asyncio.wait_for(admitted, timeout=10.0)
+            assert result.status is JobStatus.SUCCESS
+
+        asyncio.run(go())
+
+    def test_restart_after_close_accepts_jobs_again(self):
+        async def go():
+            with CompileEngine(workers=0) as engine:
+                frontier = ServiceFrontier(engine)
+                await frontier.start()
+                await frontier.close()
+                await frontier.start()
+                try:
+                    return await frontier.submit(_job())
+                finally:
+                    await frontier.close()
+
+        assert asyncio.run(go()).ok
 
 
 class TestBatchCli:
