@@ -60,7 +60,9 @@ class TransformInterpreter:
                  profiler=None,
                  strict: bool = False,
                  diagnostics: Optional[DiagnosticEngine] = None,
-                 preflight: bool = False):
+                 preflight: bool = False,
+                 tracer=None,
+                 trace_parent=None):
         self.check_types = check_types
         #: Refuse to execute scripts carrying *definite* static errors
         #: (use-after-consume the analysis proves happens on every
@@ -75,6 +77,16 @@ class TransformInterpreter:
         #: Debugging escape hatch: re-raise exceptions from ``apply``
         #: instead of converting them into definite failures.
         self.strict = strict
+        #: Optional :class:`repro.observability.Tracer`: one span per
+        #: *top-level* transform op (direct children of the entry
+        #: sequence — the ``-mlir-timing`` granularity), linked to the
+        #: failure diagnostics via span status/attributes.
+        #: ``trace_parent`` (a span, context, or span id) parents the
+        #: outermost spans — the worker's "interpret" span when the
+        #: interpreter runs inside the compile service.
+        self.tracer = tracer
+        self.trace_parent = trace_parent
+        self._span_stack: List = []
         #: Collects MLIR-style diagnostics for every failure.
         self.diagnostics = diagnostics or DiagnosticEngine()
         self.output: List[str] = []
@@ -241,8 +253,21 @@ class TransformInterpreter:
             if type_error is not None:
                 type_error.backtrace = [*self._stack, op]
                 return type_error
+        # One span per top-level transform op (the entry itself and
+        # the direct children of the entry sequence); nested ops are
+        # timing detail the profiler already attributes.
+        span = None
+        if self.tracer is not None and len(self._stack) <= 1:
+            span = self.tracer.start_span(
+                op.name,
+                parent=(self._span_stack[-1] if self._span_stack
+                        else self.trace_parent),
+                attributes={"loc": str(op.location)},
+            )
+            self._span_stack.append(span)
         self._stack.append(op)
         start = time.perf_counter() if self.profiler is not None else 0.0
+        result: Optional[TransformResult] = None
         try:
             result = op.apply(self, state)
         except HandleInvalidatedError as error:
@@ -265,6 +290,23 @@ class TransformInterpreter:
                 self.profiler.record_transform(
                     op.name, time.perf_counter() - start
                 )
+            if span is not None:
+                self._span_stack.pop()
+                # `result` is still None when an exception propagates
+                # (strict mode, nested interpreter error): the span
+                # still ends, flagged as an error.
+                if result is None:
+                    status = "error"
+                elif result.succeeded:
+                    status = "ok"
+                else:
+                    # Link the span to the diagnostic stream: the
+                    # failure kind is the status, the message is the
+                    # diagnostic text the engine renders.
+                    status = ("silenceable" if result.is_silenceable
+                              else "definite")
+                    span.attributes["message"] = result.message
+                self.tracer.end_span(span, status)
         if not result.succeeded and not result.backtrace:
             # First observation of this failure: snapshot the enclosing
             # transform chain (innermost handler fires first, so the

@@ -17,7 +17,9 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..observability.metrics import DEPTH_BUCKETS, MetricsRegistry
 
 
 @dataclass
@@ -124,7 +126,20 @@ class ResilienceStats:
 
 
 class Profiler:
-    """Collects timing/counter data from the transform hot paths."""
+    """Collects timing/counter data from the transform hot paths.
+
+    Every instrument is now backed twice: the cheap dataclass sections
+    (the ``-mlir-timing`` report) and a unified
+    :class:`~repro.observability.metrics.MetricsRegistry` — service-
+    level distributions (job wall time, queue depth, per-transform-op
+    seconds) are recorded into registry histograms *live*, everything
+    scalar is synced on :meth:`registry_snapshot`, which returns the
+    one versioned JSON schema consumers (``repro-batch --json``, the
+    future ``repro-serve /stats``) read.
+    """
+
+    #: Version of the :meth:`to_json` report shape.
+    SCHEMA_VERSION = 2
 
     def __init__(self) -> None:
         self.patterns: Dict[str, PatternStat] = {}
@@ -134,6 +149,30 @@ class Profiler:
         self.invalidation = InvalidationStats()
         self.service = ServiceStats()
         self.resilience = ResilienceStats()
+        #: The unified metrics registry this profiler feeds.
+        self.registry = MetricsRegistry()
+        # Hot-path instruments, resolved once (observe() is then one
+        # bisect + a few adds under the instrument's own lock).
+        self._h_transform_seconds = self.registry.histogram(
+            "interpreter.transform_seconds"
+        )
+        self._h_job_seconds = self.registry.histogram(
+            "service.job_seconds"
+        )
+        self._h_queue_depth = self.registry.histogram(
+            "service.queue_depth", DEPTH_BUCKETS
+        )
+        self._g_queue_depth = self.registry.gauge(
+            "service.queue_depth_current"
+        )
+        #: name -> serializer; *every* registered section appears in
+        #: :meth:`to_json` — sections added after construction
+        #: (:meth:`add_section`) can no longer be silently dropped
+        #: from reports.
+        self._sections: Dict[str, Callable[[], object]] = {}
+        #: name -> optional text renderer for :meth:`render`.
+        self._renderers: Dict[str, Callable[[], List[str]]] = {}
+        self._register_builtin_sections()
         # Structural-digest traffic is recorded process-globally in
         # repro.ir.core.DIGEST_STATS (the memo lives on the ops, not on
         # any profiler); snapshot the baseline so this instance reports
@@ -141,6 +180,71 @@ class Profiler:
         from ..ir.core import DIGEST_STATS
 
         self._digest_baseline = DIGEST_STATS.snapshot()
+
+    # -- section registry ----------------------------------------------------
+
+    def add_section(self, name: str,
+                    to_json: Callable[[], object],
+                    render: Optional[Callable[[], List[str]]] = None,
+                    ) -> None:
+        """Register a report section. ``to_json`` produces the
+        section's JSON value; ``render`` (optional) produces report
+        lines for :meth:`render`. Registration is the serialization
+        contract: a registered section is never omitted from
+        :meth:`to_json`."""
+        self._sections[name] = to_json
+        if render is not None:
+            self._renderers[name] = render
+
+    def _register_builtin_sections(self) -> None:
+        self.add_section("transforms", lambda: {
+            name: {"count": s.count, "seconds": s.seconds}
+            for name, s in self.transforms.items()
+        })
+        self.add_section("patterns", lambda: {
+            label: {
+                "attempts": s.attempts,
+                "applies": s.applies,
+                "seconds": s.seconds,
+            }
+            for label, s in self.patterns.items()
+        })
+        self.add_section("passes", lambda: {
+            name: {"count": s.count, "seconds": s.seconds}
+            for name, s in self.passes.items()
+        })
+        self.add_section("worklist", lambda: {
+            "runs": self.worklist.runs,
+            "pushes": self.worklist.pushes,
+            "pops": self.worklist.pops,
+            "max_depth": self.worklist.max_depth,
+        })
+        self.add_section("invalidation", lambda: {
+            "events": self.invalidation.events,
+            "handles_invalidated":
+                self.invalidation.handles_invalidated,
+        })
+        self.add_section("service", lambda: {
+            "jobs": self.service.jobs,
+            "jobs_by_status": dict(self.service.jobs_by_status),
+            "job_seconds": self.service.job_seconds,
+            "mean_job_seconds": self.service.mean_job_seconds,
+            "max_job_seconds": self.service.max_job_seconds,
+            "cache_hits": self.service.cache_hits,
+            "cache_misses": self.service.cache_misses,
+            "cache_hit_rate": self.service.hit_rate,
+            "worker_restarts": self.service.worker_restarts,
+            "queue_samples": self.service.queue_samples,
+            "mean_queue_depth": self.service.mean_queue_depth,
+            "max_queue_depth": self.service.max_queue_depth,
+        })
+        self.add_section("resilience", lambda: {
+            "retries": self.resilience.retries,
+            "backoff_seconds": self.resilience.backoff_seconds,
+            "quarantined": self.resilience.quarantined,
+            "pool_degradations": self.resilience.pool_degradations,
+        })
+        self.add_section("hashing", self.digest_counters)
 
     # -- structural-digest deltas -------------------------------------------
 
@@ -175,6 +279,7 @@ class Profiler:
             stat = self.transforms[name] = TimedStat()
         stat.count += 1
         stat.seconds += seconds
+        self._h_transform_seconds.observe(seconds)
 
     def record_pass(self, name: str, seconds: float) -> None:
         stat = self.passes.get(name)
@@ -217,26 +322,46 @@ class Profiler:
             service.cache_hits += 1
         else:
             service.cache_misses += 1
+        registry = self.registry
+        registry.counter("service.jobs").inc()
+        registry.counter(f"service.jobs_by_status.{status}").inc()
+        registry.counter(
+            "service.cache_hits" if cache_hit else "service.cache_misses"
+        ).inc()
+        self._h_job_seconds.observe(seconds)
 
     def record_queue_depth(self, depth: int) -> None:
+        """One queue-depth sample. The frontier samples at *both*
+        enqueue and dequeue — one-sided (enqueue-only) sampling sees
+        every burst at its peak and never the drain, skewing the mean
+        upward under bursty admission."""
         service = self.service
         service.queue_samples += 1
         service.queue_depth_sum += depth
         if depth > service.max_queue_depth:
             service.max_queue_depth = depth
+        self._h_queue_depth.observe(depth)
+        self._g_queue_depth.set(depth)
 
     def record_worker_restart(self) -> None:
         self.service.worker_restarts += 1
+        self.registry.counter("service.worker_restarts").inc()
 
     def record_retry(self, backoff_seconds: float = 0.0) -> None:
         self.resilience.retries += 1
         self.resilience.backoff_seconds += backoff_seconds
+        self.registry.counter("resilience.retries").inc()
+        self.registry.counter("resilience.backoff_seconds").inc(
+            backoff_seconds
+        )
 
     def record_quarantine(self) -> None:
         self.resilience.quarantined += 1
+        self.registry.counter("resilience.quarantined").inc()
 
     def record_pool_degradation(self) -> None:
         self.resilience.pool_degradations += 1
+        self.registry.counter("resilience.pool_degradations").inc()
 
     @contextmanager
     def time_pass(self, name: str) -> Iterator[None]:
@@ -368,61 +493,79 @@ class Profiler:
             )
             lines.append("")
 
+        for name, renderer in self._renderers.items():
+            extra = renderer()
+            if extra:
+                lines.extend(extra)
+                lines.append("")
+
         if len(lines) == 3:
             lines.append("  (nothing recorded)")
         return "\n".join(lines).rstrip()
 
     def to_json(self) -> Dict[str, object]:
         """Machine-readable dump of every instrument (plain dicts and
-        numbers, ready for ``json.dump``)."""
-        service = self.service
-        return {
-            "transforms": {
-                name: {"count": s.count, "seconds": s.seconds}
-                for name, s in self.transforms.items()
-            },
-            "patterns": {
-                label: {
-                    "attempts": s.attempts,
-                    "applies": s.applies,
-                    "seconds": s.seconds,
-                }
-                for label, s in self.patterns.items()
-            },
-            "passes": {
-                name: {"count": s.count, "seconds": s.seconds}
-                for name, s in self.passes.items()
-            },
-            "worklist": {
-                "runs": self.worklist.runs,
-                "pushes": self.worklist.pushes,
-                "pops": self.worklist.pops,
-                "max_depth": self.worklist.max_depth,
-            },
-            "invalidation": {
-                "events": self.invalidation.events,
-                "handles_invalidated":
-                    self.invalidation.handles_invalidated,
-            },
-            "service": {
-                "jobs": service.jobs,
-                "jobs_by_status": dict(service.jobs_by_status),
-                "job_seconds": service.job_seconds,
-                "mean_job_seconds": service.mean_job_seconds,
-                "max_job_seconds": service.max_job_seconds,
-                "cache_hits": service.cache_hits,
-                "cache_misses": service.cache_misses,
-                "cache_hit_rate": service.hit_rate,
-                "worker_restarts": service.worker_restarts,
-                "queue_samples": service.queue_samples,
-                "mean_queue_depth": service.mean_queue_depth,
-                "max_queue_depth": service.max_queue_depth,
-            },
-            "resilience": {
-                "retries": self.resilience.retries,
-                "backoff_seconds": self.resilience.backoff_seconds,
-                "quarantined": self.resilience.quarantined,
-                "pool_degradations": self.resilience.pool_degradations,
-            },
-            "hashing": self.digest_counters(),
-        }
+        numbers, ready for ``json.dump``).
+
+        Driven by the section registry: every section registered via
+        :meth:`add_section` — built-in or added after construction —
+        serializes. (Previously each section was hand-listed here, so
+        a newly grown instrument could be silently omitted from
+        reports until someone remembered to extend this method.)
+        """
+        data: Dict[str, object] = {"schema_version": self.SCHEMA_VERSION}
+        for name, serialize in self._sections.items():
+            data[name] = serialize()
+        return data
+
+    def registry_snapshot(self) -> Dict[str, object]:
+        """The unified, versioned metrics snapshot.
+
+        Service-level distributions (job wall seconds, queue depth,
+        per-transform-op seconds) and resilience counters are recorded
+        into the registry live; the remaining scalar sections are
+        synced here, so the returned
+        :meth:`~repro.observability.metrics.MetricsRegistry.snapshot`
+        is the complete, single-schema view of everything this
+        profiler knows.
+        """
+        registry = self.registry
+        registry.set_section("worklist", {
+            "runs": self.worklist.runs,
+            "pushes": self.worklist.pushes,
+            "pops": self.worklist.pops,
+            "max_depth": self.worklist.max_depth,
+        })
+        registry.set_section("invalidation", {
+            "events": self.invalidation.events,
+            "handles_invalidated": self.invalidation.handles_invalidated,
+            "mean_fanout": self.invalidation.mean_fanout,
+        })
+        registry.set_section("rewrite", {
+            "pattern_attempts":
+                sum(s.attempts for s in self.patterns.values()),
+            "pattern_applies":
+                sum(s.applies for s in self.patterns.values()),
+            # float() pins the empty-sum (int 0) to the gauge kind.
+            "pattern_seconds":
+                float(sum(s.seconds for s in self.patterns.values())),
+        })
+        registry.set_section("passes", {
+            "runs": sum(s.count for s in self.passes.values()),
+            "seconds":
+                float(sum(s.seconds for s in self.passes.values())),
+        })
+        registry.set_section("interpreter", {
+            "transforms_executed":
+                sum(s.count for s in self.transforms.values()),
+        })
+        registry.set_section("service", {
+            "max_job_seconds": self.service.max_job_seconds,
+            # Floats so these land as gauges (point-in-time values),
+            # not counters.
+            "max_queue_depth": float(self.service.max_queue_depth),
+            "queue_samples": self.service.queue_samples,
+            "cache_hit_rate": self.service.hit_rate,
+        })
+        registry.set_section("hashing", self.digest_counters())
+        return registry.snapshot()

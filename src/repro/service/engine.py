@@ -50,11 +50,13 @@ import multiprocessing
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, TimeoutError
+from contextlib import nullcontext
 from concurrent.futures.process import BrokenProcessPool
 from concurrent.futures.thread import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..observability.tracing import SpanContext
 from ..testing.faults import FaultPlan, FaultSite
 from .cache import CachedResult, CompilationCache, cache_key, function_key
 from .resilience import (
@@ -223,7 +225,9 @@ class CompileEngine:
                  retry_policy: Optional[RetryPolicy] = None,
                  quarantine: Optional[QuarantinePolicy] = QuarantinePolicy(),
                  pool_health: Optional[PoolHealthPolicy] = PoolHealthPolicy(),
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 tracer=None,
+                 events=None):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
@@ -267,6 +271,15 @@ class CompileEngine:
         #: its service section (per-job wall time, cache traffic,
         #: restarts) alongside whatever the workers record locally.
         self.profiler = profiler
+        #: Optional :class:`repro.observability.Tracer`: per-job spans
+        #: (preflight, cache lookup, single-flight wait, per-attempt
+        #: dispatch) plus the worker-side spans shipped back across
+        #: the pool boundary. None = tracing disabled, zero overhead
+        #: beyond the branch checks.
+        self.tracer = tracer
+        #: Optional :class:`repro.observability.EventLog`: one record
+        #: per job state transition, correlated by job id.
+        self.events = events
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_generation = 0
@@ -391,6 +404,10 @@ class CompileEngine:
             self.stats.pool_degradations += 1
         if self.profiler is not None:
             self.profiler.record_pool_degradation()
+        if self.events is not None:
+            # Engine-wide, not job-scoped: no correlation id.
+            self.events.emit("DEGRADED",
+                             diagnostic=self.degraded_diagnostic)
 
     @property
     def degraded(self) -> bool:
@@ -483,12 +500,35 @@ class CompileEngine:
 
     # -- execution -----------------------------------------------------------
 
-    def run_job(self, job: CompileJob) -> JobResult:
-        """Run one job through preflight -> cache -> pool; blocking."""
+    def run_job(self, job: CompileJob,
+                parent_span=None) -> JobResult:
+        """Run one job through preflight -> cache -> pool; blocking.
+
+        ``parent_span`` parents this job's trace under an existing
+        span (the frontier's admission span, or a parent job's span
+        for function-tier sub-jobs); with no parent the job span is a
+        trace root.
+        """
         start = time.perf_counter()
         with self._book_lock:
             self.stats.submitted += 1
-        result = self._run_job_inner(job, start)
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "engine.job", parent=parent_span,
+                attributes={"job_id": job.job_id},
+            )
+        if self.events is not None:
+            self.events.emit("STARTED", job_id=job.job_id)
+        try:
+            result = self._run_job_inner(job, start, span)
+        except BaseException as error:
+            if span is not None:
+                span.attributes["exception"] = (
+                    f"{type(error).__name__}: {error}"
+                )
+                self.tracer.end_span(span, "error")
+            raise
         result.wall_seconds = time.perf_counter() - start
         with self._book_lock:
             self.stats.completed += 1
@@ -496,10 +536,37 @@ class CompileEngine:
             self.profiler.record_service_job(
                 result.status.value, result.wall_seconds, result.cache_hit
             )
+        if span is not None:
+            span.attributes["cache_hit"] = result.cache_hit
+            self.tracer.end_span(
+                span, "ok" if result.ok else result.status.value
+            )
+        if self.events is not None:
+            self.events.emit(
+                "COMPLETED", job_id=job.job_id,
+                status=result.status.value, cache_hit=result.cache_hit,
+                coalesced=result.coalesced, attempts=result.attempts,
+                wall_seconds=result.wall_seconds,
+            )
         return result
 
-    def _run_job_inner(self, job: CompileJob,
-                       start: float) -> JobResult:
+    def _run_job_inner(self, job: CompileJob, start: float,
+                       span=None) -> JobResult:
+        def _stage(name: str):
+            # One child span per engine stage; a no-op context manager
+            # when tracing is disabled.
+            return (self.tracer.span(name, parent=span)
+                    if self.tracer is not None else nullcontext())
+
+        def _reject(diagnostics: str) -> JobResult:
+            with self._book_lock:
+                self.stats.rejected += 1
+            if self.events is not None:
+                self.events.emit("REJECTED", job_id=job.job_id)
+            return JobResult(
+                job.job_id, JobStatus.REJECTED, diagnostics=diagnostics
+            )
+
         if self._cancelled.is_set():
             with self._book_lock:
                 self.stats.cancelled += 1
@@ -509,33 +576,27 @@ class CompileEngine:
         script_text = job.script_text
         payload_info: Optional[_PayloadInfo] = None
         script_info: Optional[_ScriptInfo] = None
-        if self.normalize_keys:
-            # Key on structural digests instead of reprinted text: one
-            # parse per unique input ever, O(digest) per job after.
-            # Workers receive the *raw* text — they parse and reprint
-            # themselves, so the output is identical either way.
-            try:
-                payload_info = self._payload_info(payload_text)
-                script_info = self._script_info(script_text)
-            except Exception as error:
-                with self._book_lock:
-                    self.stats.rejected += 1
-                return JobResult(
-                    job.job_id, JobStatus.REJECTED,
-                    diagnostics=f"error: input does not parse: {error}",
-                )
+        with _stage("engine.preflight"):
+            if self.normalize_keys:
+                # Key on structural digests instead of reprinted text:
+                # one parse per unique input ever, O(digest) per job
+                # after. Workers receive the *raw* text — they parse
+                # and reprint themselves, so the output is identical
+                # either way.
+                try:
+                    payload_info = self._payload_info(payload_text)
+                    script_info = self._script_info(script_text)
+                except Exception as error:
+                    return _reject(
+                        f"error: input does not parse: {error}"
+                    )
 
-        if self.preflight:
-            ok, diagnostics = self._check_script(
-                script_text, job.entry_point
-            )
-            if not ok:
-                with self._book_lock:
-                    self.stats.rejected += 1
-                return JobResult(
-                    job.job_id, JobStatus.REJECTED,
-                    diagnostics=diagnostics,
+            if self.preflight:
+                ok, diagnostics = self._check_script(
+                    script_text, job.entry_point
                 )
+                if not ok:
+                    return _reject(diagnostics)
 
         if payload_info is not None and script_info is not None:
             key = cache_key(payload_info.digest, script_info.digest,
@@ -544,10 +605,16 @@ class CompileEngine:
             key = cache_key(payload_text, script_text, job.params,
                             job.entry_point)
         if self.cache is not None:
-            cached = self.cache.get(key)
+            with _stage("cache.lookup") as lookup_span:
+                cached = self.cache.get(key)
+                if lookup_span is not None:
+                    lookup_span.attributes["hit"] = cached is not None
             if cached is not None:
                 with self._book_lock:
                     self.stats.cache_hits += 1
+                if self.events is not None:
+                    self.events.emit("CACHE_HIT", job_id=job.job_id,
+                                     key=key)
                 return JobResult(
                     job.job_id, JobStatus(cached.status),
                     output=cached.output,
@@ -580,6 +647,9 @@ class CompileEngine:
                 with self._book_lock:
                     self.stats.cache_hits += 1
                     self._inflight.pop(key, None)
+                if self.events is not None:
+                    self.events.emit("CACHE_HIT", job_id=job.job_id,
+                                     key=key)
                 result = JobResult(
                     job.job_id, JobStatus(cached.status),
                     output=cached.output,
@@ -590,7 +660,11 @@ class CompileEngine:
                 flight.set_result(result)
                 return result
         if not leader:
-            result: JobResult = flight.result()
+            with _stage("singleflight.wait"):
+                result: JobResult = flight.result()
+            if self.events is not None:
+                self.events.emit("COALESCED", job_id=job.job_id,
+                                 key=key, leader_status=result.status.value)
             with self._book_lock:
                 self.stats.coalesced += 1
                 if result.status is JobStatus.POISONED:
@@ -620,11 +694,16 @@ class CompileEngine:
                     and len(payload_info.func_digests) >= 2
                     and job.entry_point is None):
                 result = self._assemble_from_function_tier(
-                    job, key, payload_info, script_info
+                    job, key, payload_info, script_info, span
                 )
+                if result is not None and self.events is not None:
+                    self.events.emit(
+                        "ASSEMBLED", job_id=job.job_id, key=key,
+                        cache_hit=result.cache_hit,
+                    )
             if result is None:
                 result = self._execute(job, key, payload_text,
-                                       script_text)
+                                       script_text, span)
                 self._populate_function_tier(
                     job, result, payload_info, script_info
                 )
@@ -669,7 +748,8 @@ class CompileEngine:
     def _assemble_from_function_tier(
             self, job: CompileJob, key: str,
             payload_info: _PayloadInfo,
-            script_info: _ScriptInfo) -> Optional[JobResult]:
+            script_info: _ScriptInfo,
+            span=None) -> Optional[JobResult]:
         """Serve a multi-function job from per-function cache entries.
 
         Functions whose (digest, script digest, params) entry is
@@ -717,7 +797,7 @@ class CompileEngine:
                     params=job.params,
                     timeout=job.timeout,
                     job_id=f"{job.job_id}/fn{index}",
-                ))
+                ), parent_span=span)
                 if sub.status is not JobStatus.SUCCESS or sub.diagnostics:
                     return None
                 texts.append(sub.output or "")
@@ -797,6 +877,8 @@ class CompileEngine:
             self.stats.quarantined += 1
         if self.profiler is not None:
             self.profiler.record_quarantine()
+        if self.events is not None:
+            self.events.emit("POISONED", job_id=job.job_id, key=key)
         return JobResult(
             job.job_id, JobStatus.POISONED, key=key,
             diagnostics=self._quarantine.diagnose(key),
@@ -825,39 +907,78 @@ class CompileEngine:
                 self.stats.retries += 1
             if self.profiler is not None:
                 self.profiler.record_retry(backoff)
+            if self.events is not None:
+                self.events.emit(
+                    "RETRIED", job_id=job.job_id, key=key,
+                    failure=status, attempt=attempts, backoff=backoff,
+                )
             if backoff > 0:
                 time.sleep(backoff)
             return True, None
         return False, terminal
 
     def _execute(self, job: CompileJob, key: str, payload_text: str,
-                 script_text: str) -> JobResult:
+                 script_text: str, span=None) -> JobResult:
         """Actually run the job on a worker (or inline), with timeout
-        handling and policy-driven crash/timeout containment."""
+        handling and policy-driven crash/timeout containment.
+
+        Each pool attempt gets its own ``engine.dispatch`` child span;
+        the worker receives that span's context (``trace=``) so the
+        spans it records in its own process — parse, interpret with one
+        child per top-level transform op, print — come back in the
+        result payload already parented under this attempt, and
+        :meth:`Tracer.record` stitches them into the engine-side trace.
+        """
         timeout = job.timeout if job.timeout is not None else self.job_timeout
         attempts = 0
         while True:
             attempts += 1
+            attempt_span = None
+            trace = None
+            if self.tracer is not None:
+                attempt_span = self.tracer.start_span(
+                    "engine.dispatch", parent=span,
+                    attributes={"job_id": job.job_id,
+                                "attempt": attempts},
+                )
+                trace = SpanContext(
+                    self.tracer.trace_id, attempt_span.span_id
+                ).to_dict()
+
+            def _end_attempt(status: str) -> None:
+                if attempt_span is not None:
+                    self.tracer.end_span(attempt_span, status)
+
             pool = None
             if self.workers > 0 and not self._degraded:
                 pool, generation = self._ensure_pool()
+            if self.events is not None:
+                self.events.emit(
+                    "DISPATCHED", job_id=job.job_id, key=key,
+                    attempt=attempts, pooled=pool is not None,
+                )
             if pool is None:
                 # workers=0 reference mode, or the engine degraded
                 # after crash-loop detection. Worker faults are never
                 # injected here: an in-process os._exit would take the
                 # whole service down, which is exactly what the pool
                 # boundary exists to prevent.
-                raw = compile_job(
-                    payload_text, script_text, job.params,
-                    job.entry_point, strict=self.strict,
-                )
+                try:
+                    raw = compile_job(
+                        payload_text, script_text, job.params,
+                        job.entry_point, strict=self.strict,
+                        trace=trace,
+                    )
+                except BaseException:
+                    _end_attempt("error")
+                    raise
             else:
                 inject = None
                 if self.faults is not None:
                     inject = self.faults.worker_fault(key, attempts)
                 future = pool.submit(
                     compile_job, payload_text, script_text, job.params,
-                    job.entry_point, self.strict, inject,
+                    job.entry_point, self.strict, inject, trace,
                 )
                 if self.faults is not None and self.faults.fire(
                         FaultSite.POOL_BREAK, f"{key}#attempt{attempts}"):
@@ -875,6 +996,12 @@ class CompileEngine:
                     self._restart_pool(generation, kill_pool=pool)
                     with self._book_lock:
                         self.stats.timeouts += 1
+                    _end_attempt("timeout")
+                    if self.events is not None:
+                        self.events.emit(
+                            "TIMEOUT", job_id=job.job_id, key=key,
+                            attempt=attempts, deadline=timeout,
+                        )
                     retry, result = self._handle_pool_failure(
                         job, key, "timeout", attempts,
                         JobResult(
@@ -894,6 +1021,12 @@ class CompileEngine:
                     with self._book_lock:
                         self.stats.crashes += 1
                     self._restart_pool(generation)
+                    _end_attempt("crashed")
+                    if self.events is not None:
+                        self.events.emit(
+                            "CRASHED", job_id=job.job_id, key=key,
+                            attempt=attempts,
+                        )
                     retry, result = self._handle_pool_failure(
                         job, key, "crashed", attempts,
                         JobResult(
@@ -917,6 +1050,7 @@ class CompileEngine:
                     # mode must propagate raw exactly like the
                     # workers=0 reference path; otherwise classify,
                     # don't crash the service.
+                    _end_attempt("error")
                     if self.strict:
                         raise
                     return JobResult(
@@ -928,6 +1062,12 @@ class CompileEngine:
                     )
             with self._book_lock:
                 self.stats.executed += 1
+            if self.tracer is not None and raw.get("spans"):
+                # Absorb the worker-side spans (already parented under
+                # this attempt via the propagated context).
+                self.tracer.record(raw["spans"])
+            _end_attempt("ok" if raw["status"] == "success"
+                         else str(raw["status"]))
             return JobResult(
                 job.job_id, JobStatus(raw["status"]),
                 output=raw["output"], diagnostics=raw["diagnostics"],

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import json
 import os
 import sys
@@ -134,6 +135,21 @@ class ServiceFrontier:
         if self._queue is None:
             raise RuntimeError("frontier is not started")
         future: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Admission is where a job's trace is rooted: the root span
+        # covers the whole frontier residency (queue wait + engine),
+        # and ``queue.wait`` — ended by the dispatcher that pops the
+        # job — measures admission-to-dispatch latency alone.
+        tracer = getattr(self.engine, "tracer", None)
+        events = getattr(self.engine, "events", None)
+        root = wait = None
+        if tracer is not None:
+            root = tracer.start_span(
+                f"job:{job.job_id}", attributes={"job_id": job.job_id}
+            )
+            wait = tracer.start_span(
+                "queue.wait", parent=root,
+                attributes={"job_id": job.job_id},
+            )
         # Count the job before it is visible to dispatchers — the
         # other order lets a dispatcher pop and decrement first,
         # driving the counter (and the profiler's queue-depth samples)
@@ -143,11 +159,16 @@ class ServiceFrontier:
             depth = self._depth
         if self.engine.profiler is not None:
             self.engine.profiler.record_queue_depth(depth)
+        if events is not None:
+            events.emit("ADMITTED", job_id=job.job_id, depth=depth)
         try:
-            await self._queue.put((job, future))
+            await self._queue.put((job, future, root, wait))
         except BaseException:
             with self._depth_lock:
                 self._depth -= 1
+            if tracer is not None:
+                tracer.end_span(wait, "error")
+                tracer.end_span(root, "error")
             raise
         return await future
 
@@ -167,10 +188,25 @@ class ServiceFrontier:
             item = await self._queue.get()
             if item is _SENTINEL:
                 return
-            job, future = item
+            job, future, root, wait = item
+            # Sample depth on *both* edges: enqueue sees the rising
+            # slope (how deep backpressure let the queue grow), dequeue
+            # the falling one (how fast dispatchers drain it). One-sided
+            # sampling under-reports whichever slope it skips.
             with self._depth_lock:
                 self._depth -= 1
+                depth = self._depth
+            tracer = getattr(self.engine, "tracer", None)
+            events = getattr(self.engine, "events", None)
+            if tracer is not None:
+                tracer.end_span(wait)
+            if self.engine.profiler is not None:
+                self.engine.profiler.record_queue_depth(depth)
+            if events is not None:
+                events.emit("DEQUEUED", job_id=job.job_id, depth=depth)
             if future.cancelled():
+                if tracer is not None:
+                    tracer.end_span(root, "cancelled")
                 continue
             faults: Optional[FaultPlan] = getattr(
                 self.engine, "faults", None
@@ -180,14 +216,25 @@ class ServiceFrontier:
                 # Injected dispatcher stall: the job sits decoded but
                 # undispatched, as under a briefly wedged event loop.
                 await asyncio.sleep(faults.stall_seconds)
+            run = (functools.partial(self.engine.run_job, job,
+                                     parent_span=root)
+                   if tracer is not None
+                   else functools.partial(self.engine.run_job, job))
             try:
-                result = await loop.run_in_executor(
-                    self._threads, self.engine.run_job, job
-                )
+                result = await loop.run_in_executor(self._threads, run)
             except Exception as error:  # defensive: surface, don't hang
+                if tracer is not None:
+                    root.attributes["exception"] = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                    tracer.end_span(root, "error")
                 if not future.cancelled():
                     future.set_exception(error)
                 continue
+            if tracer is not None:
+                tracer.end_span(
+                    root, "ok" if result.ok else result.status.value
+                )
             if not future.cancelled():
                 future.set_result(result)
 
@@ -351,6 +398,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "(<payload>.<schedule>.mlir)")
     parser.add_argument("--json", default=None, metavar="FILE",
                         help="write machine-readable metrics here")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON of the "
+                        "whole batch here (open in ui.perfetto.dev)")
+    parser.add_argument("--events-out", default=None, metavar="FILE",
+                        help="write the JSONL job-lifecycle event log "
+                        "here (one record per state transition)")
     parser.add_argument("--timing", action="store_true",
                         help="print the -mlir-timing-style service "
                         "report to stderr")
@@ -375,9 +428,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: no payloads or no schedules found", file=sys.stderr)
         return 2
 
+    from ..observability import EventLog, Tracer
     from ..profiling import Profiler
 
     profiler = Profiler()
+    tracer = Tracer() if args.trace_out is not None else None
+    events = (EventLog(args.events_out)
+              if args.events_out is not None else None)
     faults = (FaultPlan(seed=args.fault_seed, rates=fault_rates)
               if fault_rates else None)
     retry_statuses = frozenset(
@@ -409,6 +466,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         quarantine=quarantine,
         pool_health=pool_health,
         faults=faults,
+        tracer=tracer,
+        events=events,
     )
 
     payload_labels = _unique_labels(payload_files)
@@ -455,13 +514,24 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.timing:
         print(profiler.render(), file=sys.stderr)
+    if tracer is not None:
+        tracer.write_chrome(args.trace_out)
+    if events is not None:
+        events.close()
     if args.json is not None:
+        # Fold the engine/cache aggregates into the unified registry so
+        # ``metrics`` below is the one versioned snapshot; the legacy
+        # per-component dicts stay alongside for existing consumers.
+        profiler.registry.set_section("engine", engine.stats.as_dict())
+        if cache is not None:
+            profiler.registry.set_section("cache", cache.stats.as_dict())
         metrics = {
             "jobs": len(results),
             "by_status": counts,
             "engine": engine.stats.as_dict(),
             "cache": cache.stats.as_dict() if cache is not None else None,
             "profiler": profiler.to_json(),
+            "metrics": profiler.registry_snapshot(),
         }
         if faults is not None:
             metrics["faults"] = {

@@ -12,7 +12,9 @@ sequential runs produce byte-identical output and identical stats.
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import nullcontext
 from typing import Dict, Mapping, Optional, Sequence, Union
 
 from ..ir.attributes import StringAttr
@@ -67,7 +69,9 @@ def compile_job(payload_text: str, script_text: str,
                 params: Optional[ParamBindings] = None,
                 entry_point: Optional[str] = None,
                 strict: bool = False,
-                inject: Optional[str] = None) -> Dict[str, object]:
+                inject: Optional[str] = None,
+                trace: Optional[Dict[str, str]] = None
+                ) -> Dict[str, object]:
     """Compile one (payload, script, params) job; returns a plain dict.
 
     The return value is deliberately pickle-friendly (strings and
@@ -101,10 +105,17 @@ def compile_job(payload_text: str, script_text: str,
     compilation state exists — they model infrastructure death, not
     compile bugs — and are only ever passed by an engine running a
     :class:`~repro.testing.faults.FaultPlan` on a pooled execution.
+
+    ``trace`` is the cross-process span propagation hook: a
+    :meth:`repro.observability.SpanContext.to_dict` payload naming the
+    engine-side trace and parent span. When present the worker records
+    spans locally (parse / interpret — with one child span per
+    top-level transform op — / print) into a tracer seeded with the
+    propagated trace id and ships them back under ``"spans"`` (a list
+    of :meth:`~repro.observability.Span.to_dict` dicts), so a job's
+    trace is complete across the pool boundary.
     """
     if inject == "crash":
-        import os
-
         os._exit(3)
     elif inject == "hang":
         time.sleep(3600.0)
@@ -116,32 +127,63 @@ def compile_job(payload_text: str, script_text: str,
     from ..ir.printer import print_op
 
     _ensure_registered()
+    tracer = None
+    root = None
+    if trace is not None:
+        from ..observability.tracing import SpanContext, Tracer
+
+        context = SpanContext.from_dict(trace)
+        tracer = Tracer(trace_id=context.trace_id)
+        root = tracer.start_span(
+            "worker.compile", parent=context,
+            attributes={"worker_pid": os.getpid()},
+        )
+
+    def _span(name: str):
+        return (tracer.span(name, parent=root)
+                if tracer is not None else nullcontext())
+
+    def _finish(raw: Dict[str, object]) -> Dict[str, object]:
+        if tracer is not None:
+            status = str(raw["status"])
+            tracer.end_span(root, "ok" if status == "success" else status)
+            raw["spans"] = tracer.to_dicts()
+        else:
+            raw["spans"] = []
+        return raw
+
     start = time.perf_counter()
     interpreter = None
     status = "success"
     output: Optional[str] = None
     output_digest: Optional[str] = None
     try:
-        payload = parse(payload_text, "<payload>")
-        script = parse(script_text, "<script>")
+        with _span("worker.parse"):
+            payload = parse(payload_text, "<payload>")
+            script = parse(script_text, "<script>")
         if params:
             bind_parameters(script, params)
         interpreter = TransformInterpreter(strict=strict)
-        result = interpreter.apply(script, payload, entry_point)
+        with _span("worker.interpret") as interpret_span:
+            if interpret_span is not None:
+                interpreter.tracer = tracer
+                interpreter.trace_parent = interpret_span
+            result = interpreter.apply(script, payload, entry_point)
         if result.is_silenceable:
             status = "silenceable"
-        payload.verify()
-        output = print_op(payload)
-        output_digest = op_digest(payload)
+        with _span("worker.print"):
+            payload.verify()
+            output = print_op(payload)
+            output_digest = op_digest(payload)
     except TransformInterpreterError as error:
-        return {
+        return _finish({
             "status": "definite",
             "output": None,
             "output_digest": None,
             "diagnostics": str(error),
             "stats": _stats_dict(interpreter) if interpreter else {},
             "wall_seconds": time.perf_counter() - start,
-        }
+        })
     except Exception as error:
         # Anything the interpreter's barrier did not wrap (parse
         # errors when the engine skips key normalization, payload
@@ -152,15 +194,15 @@ def compile_job(payload_text: str, script_text: str,
         # re-raises it).
         if strict:
             raise
-        return {
+        return _finish({
             "status": "definite",
             "output": None,
             "output_digest": None,
             "diagnostics": f"error: {type(error).__name__}: {error}",
             "stats": _stats_dict(interpreter) if interpreter else {},
             "wall_seconds": time.perf_counter() - start,
-        }
-    return {
+        })
+    return _finish({
         "status": status,
         "output": output,
         "output_digest": output_digest,
@@ -168,7 +210,7 @@ def compile_job(payload_text: str, script_text: str,
                         if interpreter.diagnostics.diagnostics else ""),
         "stats": _stats_dict(interpreter),
         "wall_seconds": time.perf_counter() - start,
-    }
+    })
 
 
 def _stats_dict(interpreter) -> Dict[str, float]:

@@ -255,8 +255,15 @@ def _chaos_jobs(rng: random.Random) -> List[Tuple[str, str]]:
 def run_chaos_case(case_seed: int, workers: int = 1,
                    job_timeout: float = 0.25,
                    watchdog_seconds: float = 120.0,
+                   tracer=None, events=None,
                    ) -> Tuple[ChaosReport, FaultPlan]:
-    """Run one chaos case; the report carries any violated invariants."""
+    """Run one chaos case; the report carries any violated invariants.
+
+    ``tracer``/``events`` (from :mod:`repro.observability`) are
+    attached to the chaos engine when given, so a failing schedule
+    leaves a replayable span + event timeline next to the report —
+    the fired faults join against the event log on job id.
+    """
     import asyncio
     import tempfile
 
@@ -310,6 +317,8 @@ def run_chaos_case(case_seed: int, workers: int = 1,
                                          window_seconds=60.0),
             faults=plan,
             profiler=profiler,
+            tracer=tracer,
+            events=events,
         )
 
         async def drive():
@@ -422,13 +431,15 @@ def run_chaos_case(case_seed: int, workers: int = 1,
 
 
 def run_chaos(seed: int = 0, cases: int = 50, workers: int = 1,
-              job_timeout: float = 0.25) -> ChaosReport:
+              job_timeout: float = 0.25,
+              tracer=None, events=None) -> ChaosReport:
     """Run ``cases`` chaos cases derived from ``seed``."""
     total = ChaosReport()
     for index in range(cases):
         case_seed = seed * 1_000_003 + index
         report, _plan = run_chaos_case(case_seed, workers=workers,
-                                       job_timeout=job_timeout)
+                                       job_timeout=job_timeout,
+                                       tracer=tracer, events=events)
         total.cases += 1
         total.jobs += report.jobs
         total.recovered += report.recovered
@@ -467,18 +478,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="on failure, write the fired fault "
                         "schedules of failing cases here (JSON) for "
                         "replay")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON spanning "
+                        "every chaos case here (ui.perfetto.dev)")
+    parser.add_argument("--events-out", default=None, metavar="FILE",
+                        help="write the JSONL job-lifecycle event log "
+                        "of the whole run here")
     args = parser.parse_args(argv)
+
+    tracer = events = None
+    if args.trace_out is not None or args.events_out is not None:
+        from ..observability import EventLog, Tracer
+
+        tracer = Tracer() if args.trace_out is not None else None
+        events = (EventLog(args.events_out)
+                  if args.events_out is not None else None)
+
+    def _flush_observability() -> None:
+        if tracer is not None:
+            tracer.write_chrome(args.trace_out)
+        if events is not None:
+            events.close()
 
     if args.case_seed is not None:
         report, plan = run_chaos_case(args.case_seed,
                                       workers=args.workers,
-                                      job_timeout=args.timeout)
+                                      job_timeout=args.timeout,
+                                      tracer=tracer, events=events)
+        _flush_observability()
         print(report.render())
         print(f"fault schedule: {json.dumps(plan.schedule())}")
         return 0 if report.ok else 1
 
     report = run_chaos(args.seed, args.cases, workers=args.workers,
-                       job_timeout=args.timeout)
+                       job_timeout=args.timeout,
+                       tracer=tracer, events=events)
+    _flush_observability()
     print(report.render())
     if not report.ok and args.schedule_out is not None:
         with open(args.schedule_out, "w") as handle:

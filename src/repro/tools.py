@@ -55,6 +55,7 @@ def transform_opt(
     strict: bool = False,
     verify: bool = False,
     jobs: int = 1,
+    tracer=None,
 ) -> str:
     """Apply a textual transform script to a textual payload.
 
@@ -76,6 +77,10 @@ def transform_opt(
     the output is byte-identical to ``jobs=1``, falling back to the
     sequential path whenever sharding does not apply or any shard
     reports anything but clean success.
+
+    ``tracer`` (a :class:`repro.observability.Tracer`) records one
+    span per top-level transform op — and, on the sharded path, the
+    full engine/worker span tree of each shard job.
     """
     payload = parse(payload_text, "<payload>")
     script = parse(script_text, "<script>")
@@ -114,12 +119,13 @@ def transform_opt(
     if jobs > 1 and entry_point is None:
         sharded = _transform_opt_sharded(
             payload, script, script_text, jobs,
-            strict=strict, profiler=profiler,
+            strict=strict, profiler=profiler, tracer=tracer,
         )
         if sharded is not None:
             return sharded
 
-    interpreter = TransformInterpreter(profiler=profiler, strict=strict)
+    interpreter = TransformInterpreter(profiler=profiler, strict=strict,
+                                       tracer=tracer)
     result = interpreter.apply(script, payload, entry_point)
     if result.is_silenceable:
         print(f"warning: {interpreter.diagnostics.render()}",
@@ -130,7 +136,7 @@ def transform_opt(
 
 def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
                            strict: bool = False,
-                           profiler=None) -> Optional[str]:
+                           profiler=None, tracer=None) -> Optional[str]:
     """Per-function fan-out over the compile service; None when the
     (payload, script) pair is not shardable, any shard failed, or a
     shard's module attributes diverged during reassembly —
@@ -177,6 +183,7 @@ def _transform_opt_sharded(payload, script, script_text: str, jobs: int,
         strict=strict,
         profiler=profiler,
         retry_policy=RetryPolicy.none(),
+        tracer=tracer,
     )
     try:
         unique_results = engine.run_batch([
@@ -229,6 +236,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "--jobs 1)")
     parser.add_argument("--timing", action="store_true",
                         help="print a -mlir-timing-style report to stderr")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON (one span "
+                        "per top-level transform op) here; open in "
+                        "ui.perfetto.dev")
     parser.add_argument("-o", "--output", default="-",
                         help="output file ('-' = stdout)")
     args = parser.parse_args(argv)
@@ -242,13 +253,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .profiling import Profiler
 
         profiler = Profiler()
+    tracer = None
+    if args.trace_out is not None:
+        from .observability import Tracer
+
+        tracer = Tracer()
     try:
         if args.script is not None:
             script_text = open(args.script).read()
             output = transform_opt(
                 payload_text, script_text, args.entry_point, args.check,
                 profiler=profiler, strict=args.strict,
-                verify=args.verify, jobs=args.jobs,
+                verify=args.verify, jobs=args.jobs, tracer=tracer,
             )
         else:
             output = pipeline_opt(payload_text, args.pipeline,
@@ -263,6 +279,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if profiler is not None:
         print(profiler.render(), file=sys.stderr)
+    if tracer is not None:
+        tracer.write_chrome(args.trace_out)
     if args.output == "-":
         print(output)
     else:

@@ -1,0 +1,251 @@
+"""End-to-end observability of the compile service.
+
+The acceptance surface of the tracing pillar: a pooled batch produces
+ONE well-formed trace — engine-side spans and worker-side spans (from
+other processes) reassembled with correct parent links — plus a
+lifecycle-complete event log and a metrics snapshot whose counters
+balance against the engine's terminal states.
+"""
+
+import asyncio
+import json
+import textwrap
+
+from repro.observability import (
+    EventLog,
+    Tracer,
+    read_events,
+    validate_chrome_trace,
+    validate_events,
+    validate_metrics_snapshot,
+)
+from repro.profiling import Profiler
+from repro.service.cache import CompilationCache
+from repro.service.engine import CompileEngine, CompileJob
+from repro.service.frontier import ServiceFrontier
+
+SCHEDULE = textwrap.dedent("""
+    "transform.sequence"() ({
+    ^bb0(%root: !transform.any_op):
+      %loops = "transform.match_op"(%root) {names = ["scf.for"], position = "all"} : (!transform.any_op) -> !transform.any_op
+      "transform.loop.unroll"(%loops) {factor = 2 : i64} : (!transform.any_op) -> ()
+      "transform.yield"() : () -> ()
+    }) : () -> ()
+""").strip()
+
+
+def _payload(index):
+    trip = 8 + 2 * index  # distinct trip count -> distinct cache key
+    return textwrap.dedent(f"""
+        "builtin.module"() ({{
+          "func.func"() ({{
+            %lb = "arith.constant"() {{value = 0 : index}} : () -> index
+            %ub = "arith.constant"() {{value = {trip} : index}} : () -> index
+            %st = "arith.constant"() {{value = 1 : index}} : () -> index
+            "scf.for"(%lb, %ub, %st) ({{
+            ^bb0(%i: index):
+              %c = "arith.constant"() {{value = 1 : i64}} : () -> i64
+              "scf.yield"() : () -> ()
+            }}) : (index, index, index) -> ()
+            "func.return"() : () -> ()
+          }}) {{sym_name = "f{index}", function_type = () -> ()}} : () -> ()
+        }}) : () -> ()
+    """).strip()
+
+
+def _jobs(distinct=6, repeats=2):
+    payloads = [_payload(i) for i in range(distinct)]
+    return [
+        CompileJob(payload_text=payloads[i], script_text=SCHEDULE,
+                   job_id=f"job-{rep}-{i}")
+        for rep in range(repeats)
+        for i in range(distinct)
+    ]
+
+
+def _run_pooled_batch(jobs, workers=4):
+    tracer = Tracer()
+    events = EventLog()
+    profiler = Profiler()
+    engine = CompileEngine(workers=workers,
+                           cache=CompilationCache(capacity=64),
+                           tracer=tracer, events=events,
+                           profiler=profiler)
+
+    async def go():
+        async with ServiceFrontier(engine, max_queue=4) as frontier:
+            return await frontier.run(jobs)
+
+    try:
+        results = asyncio.run(go())
+    finally:
+        engine.shutdown()
+    return results, tracer, events, profiler, engine
+
+
+class TestPooledTraceReassembly:
+    """The 4-worker concurrency acceptance test."""
+
+    def setup_method(self):
+        self.jobs = _jobs()
+        (self.results, self.tracer, self.events,
+         self.profiler, self.engine) = _run_pooled_batch(self.jobs)
+        assert all(r.ok for r in self.results)
+
+    def test_one_well_formed_trace(self):
+        trace = self.tracer.export_chrome()
+        assert validate_chrome_trace(trace) == []
+        # One trace id across spans recorded in 5 different processes.
+        assert len({s.trace_id for s in self.tracer.spans()}) == 1
+
+    def test_no_orphan_parents_and_monotonic_spans(self):
+        spans = self.tracer.spans()
+        ids = {s.span_id for s in spans}
+        for span in spans:
+            assert span.parent_id is None or span.parent_id in ids, \
+                f"{span.name}: orphan parent {span.parent_id}"
+            assert span.end is not None and span.end >= span.start, \
+                f"{span.name}: end precedes start"
+
+    def test_every_job_has_admission_and_cache_lookup_spans(self):
+        by_name = {}
+        for span in self.tracer.spans():
+            by_name.setdefault(span.name, []).append(span)
+        jobs = len(self.jobs)
+        assert len(by_name["queue.wait"]) == jobs
+        assert len(by_name["engine.job"]) == jobs
+        assert len(by_name["cache.lookup"]) == jobs
+        for job in self.jobs:
+            assert f"job:{job.job_id}" in by_name
+
+    def test_misses_carry_worker_side_transform_spans(self):
+        spans = self.tracer.spans()
+        by_id = {s.span_id: s for s in spans}
+        workers = [s for s in spans if s.name == "worker.compile"]
+        executed = self.engine.stats.executed
+        assert len(workers) == executed
+        # Worker spans were recorded in worker processes...
+        engine_pid = next(s.pid for s in spans if s.name == "engine.job")
+        assert any(s.pid != engine_pid for s in workers)
+        # ...and are parented under this-side dispatch spans.
+        for worker in workers:
+            assert by_id[worker.parent_id].name == "engine.dispatch"
+        # Each executed job interpreted the schedule: one span per
+        # top-level transform op, recorded inside the worker.
+        interprets = [s for s in spans if s.name == "worker.interpret"]
+        assert len(interprets) == executed
+        top_level = [s for s in spans if s.name == "transform.sequence"]
+        assert len(top_level) == executed
+
+    def test_registry_counters_balance_engine_terminal_states(self):
+        snap = self.profiler.registry_snapshot()
+        assert validate_metrics_snapshot(snap) == []
+        counters = snap["counters"]
+        stats = self.engine.stats
+        assert counters["service.jobs"] == stats.completed
+        by_status = {
+            name.rsplit(".", 1)[1]: value
+            for name, value in counters.items()
+            if name.startswith("service.jobs_by_status.")
+        }
+        assert sum(by_status.values()) == stats.completed
+        terminal = {}
+        for result in self.results:
+            terminal[result.status.value] = \
+                terminal.get(result.status.value, 0) + 1
+        assert by_status == terminal
+        assert (counters["service.cache_hits"]
+                + counters["service.cache_misses"]) == stats.completed
+        hist = snap["histograms"]["service.job_seconds"]
+        assert hist["count"] == stats.completed
+
+    def test_event_log_lifecycle_per_job(self):
+        records = self.events.records()
+        assert validate_events(records) == []
+        for job in self.jobs:
+            stream = [r["event"] for r in self.events.for_job(job.job_id)]
+            assert stream[0] == "ADMITTED"
+            assert stream[-1] == "COMPLETED"
+            assert "STARTED" in stream
+            assert "DEQUEUED" in stream
+        completed = [r for r in records if r["event"] == "COMPLETED"]
+        assert len(completed) == len(self.jobs)
+        # Terminal events agree with the results.
+        statuses = {r["job_id"]: r["status"] for r in completed}
+        for result in self.results:
+            assert statuses[result.job_id] == result.status.value
+
+
+class TestDisabledModeUnchanged:
+    def test_no_tracer_no_spans_key_consequences(self):
+        # tracer=None / events=None must not change results.
+        jobs = _jobs(distinct=2, repeats=1)
+        with CompileEngine(workers=0) as engine:
+            plain = [engine.run_job(job) for job in jobs]
+        results, tracer, _, _, _ = _run_pooled_batch(jobs, workers=2)
+        assert [r.output for r in results] == [r.output for r in plain]
+        assert tracer.spans()  # and the traced run did record spans
+
+
+class TestBatchCli:
+    def test_trace_events_json_artifacts(self, tmp_path):
+        from repro.service.frontier import main
+
+        payload_dir = tmp_path / "payloads"
+        payload_dir.mkdir()
+        for i in range(4):
+            (payload_dir / f"p{i}.mlir").write_text(_payload(i))
+        schedule = tmp_path / "unroll.mlir"
+        schedule.write_text(SCHEDULE)
+        trace_out = tmp_path / "trace.json"
+        events_out = tmp_path / "events.jsonl"
+        json_out = tmp_path / "metrics.json"
+
+        code = main([
+            str(payload_dir), "--schedule", str(schedule),
+            "--jobs", "4",
+            "--trace-out", str(trace_out),
+            "--events-out", str(events_out),
+            "--json", str(json_out),
+        ])
+        assert code == 0
+
+        trace = json.loads(trace_out.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = [e["name"] for e in trace["traceEvents"]]
+        assert names.count("queue.wait") == 4
+        assert names.count("worker.compile") == 4
+        assert names.count("transform.loop.unroll") == 4
+
+        records = read_events(str(events_out))
+        assert validate_events(records) == []
+        assert sum(1 for r in records if r["event"] == "COMPLETED") == 4
+
+        metrics = json.loads(json_out.read_text())
+        snap = metrics["metrics"]
+        assert validate_metrics_snapshot(snap) == []
+        # The unified snapshot subsumes the legacy engine/cache dicts.
+        assert snap["counters"]["engine.completed"] == 4
+        assert "cache.hits" in snap["counters"]
+        assert metrics["profiler"]["schema_version"] == 2
+
+
+class TestOptCli:
+    def test_trace_out(self, tmp_path):
+        from repro.tools import main
+
+        payload = tmp_path / "p.mlir"
+        payload.write_text(_payload(0))
+        schedule = tmp_path / "s.mlir"
+        schedule.write_text(SCHEDULE)
+        trace_out = tmp_path / "trace.json"
+        out = tmp_path / "out.mlir"
+
+        code = main([str(payload), "--script", str(schedule),
+                     "--trace-out", str(trace_out), "-o", str(out)])
+        assert code == 0
+        trace = json.loads(trace_out.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"transform.sequence", "transform.match_op",
+                "transform.loop.unroll"} <= names

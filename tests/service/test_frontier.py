@@ -100,8 +100,12 @@ class TestFrontier:
 
         results = asyncio.run(go())
         assert all(r.ok for r in results)
-        assert len(recorder.samples) == len(jobs)
-        assert all(sample >= 1 for sample in recorder.samples)
+        # Depth is sampled on both edges now: once at admission (the
+        # rising slope, always >= 1 because the submitter counts its
+        # own job) and once at dequeue (the falling slope, >= 0).
+        assert len(recorder.samples) == 2 * len(jobs)
+        assert all(sample >= 0 for sample in recorder.samples)
+        assert sum(1 for s in recorder.samples if s >= 1) >= len(jobs)
 
     def test_submit_before_start_raises(self):
         async def go():
