@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 #: Version of the event record schema (the per-record ``v`` field).
 EVENTS_SCHEMA_VERSION = 1
@@ -57,12 +57,39 @@ TERMINAL_EVENTS = frozenset({"COMPLETED"})
 
 
 class EventLog:
-    """Thread-safe JSONL event emitter with an in-memory copy."""
+    """Thread-safe JSONL event emitter with an in-memory copy.
+
+    Live consumers (the ``repro-serve`` streaming-status surface)
+    register with :meth:`subscribe`; every subscriber sees every
+    record, in emission order, as it is emitted.
+    """
 
     def __init__(self, path: Optional[str] = None):
         self._records: List[Dict[str, object]] = []
         self._lock = threading.Lock()
         self._handle = open(path, "w") if path is not None else None
+        self._subscribers: List[Callable[[Dict[str, object]], None]] = []
+
+    def subscribe(
+            self, callback: Callable[[Dict[str, object]], None],
+    ) -> Callable[[], None]:
+        """Invoke ``callback(record)`` on every future emit; returns
+        an unsubscribe callable. Callbacks run on the emitting thread
+        (the engine emits from dispatcher threads) and must be fast
+        and non-blocking — hand records off to a queue, do not
+        process them inline. A raising callback is dropped from the
+        subscriber list rather than poisoning subsequent emits."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                try:
+                    self._subscribers.remove(callback)
+                except ValueError:
+                    pass
+
+        return unsubscribe
 
     def emit(self, event: str, job_id: Optional[str] = None,
              **fields: object) -> Dict[str, object]:
@@ -81,6 +108,16 @@ class EventLog:
             if self._handle is not None:
                 self._handle.write(json.dumps(record) + "\n")
                 self._handle.flush()
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            try:
+                callback(record)
+            except Exception:
+                with self._lock:
+                    try:
+                        self._subscribers.remove(callback)
+                    except ValueError:
+                        pass
         return record
 
     def records(self) -> List[Dict[str, object]]:

@@ -23,15 +23,24 @@ Layers (each its own module):
 * :mod:`repro.service.sharding` — conservative per-function fan-out
   used by ``repro-opt --jobs N``;
 * :mod:`repro.service.frontier` — the asyncio front-end (bounded
-  queue, backpressure) and the ``repro-batch`` CLI.
+  queue, backpressure) and the ``repro-batch`` CLI;
+* :mod:`repro.service.server` — the persistent ``repro-serve``
+  daemon: a warm engine behind a line-delimited JSON protocol on a
+  unix/TCP socket, with streamed job events, priority classes,
+  per-client quotas, and drain/reload;
+* :mod:`repro.service.client` — sync and asyncio clients for the
+  daemon, and the ``repro-submit`` CLI (``repro-batch --connect``
+  rides the asyncio one).
 
 Fault tolerance is testable: every failure-handling path above can be
 driven deterministically by :mod:`repro.testing.faults`.
 """
 
 from .cache import CachedResult, CacheStats, CompilationCache, cache_key
+from .client import AsyncServiceClient, RemoteError, ServiceClient
 from .engine import CompileEngine, CompileJob, JobResult, JobStatus
 from .frontier import ServiceClosedError, ServiceFrontier
+from .server import CompileServer, ServerStats
 from .resilience import (
     JobQuarantine,
     PoolHealthMonitor,
@@ -43,18 +52,23 @@ from .sharding import is_func_shardable, reassemble_module, shard_payload
 from .worker import bind_parameters, compile_job
 
 __all__ = [
+    "AsyncServiceClient",
     "CacheStats",
     "CachedResult",
     "CompilationCache",
     "CompileEngine",
     "CompileJob",
+    "CompileServer",
     "JobQuarantine",
     "JobResult",
     "JobStatus",
     "PoolHealthMonitor",
     "PoolHealthPolicy",
     "QuarantinePolicy",
+    "RemoteError",
     "RetryPolicy",
+    "ServerStats",
+    "ServiceClient",
     "ServiceClosedError",
     "ServiceFrontier",
     "bind_parameters",

@@ -130,6 +130,11 @@ class CacheStats:
     #: disk tier; every one is survived, and enough of them demote the
     #: cache to memory-only (``degraded``).
     disk_errors: int = 0
+    #: Stale ``*.tmp.*`` files swept at cache startup — writers killed
+    #: between creating a temp file and renaming it into place (the
+    #: chaos driver's worker kills do exactly this) leave them behind,
+    #: and a long-lived server would otherwise accumulate them forever.
+    disk_orphans_swept: int = 0
     #: True once the disk tier was demoted to memory-only.
     degraded: bool = False
     function_hits: int = 0
@@ -151,6 +156,7 @@ class CacheStats:
             "disk_puts": self.disk_puts,
             "disk_corrupt": self.disk_corrupt,
             "disk_errors": self.disk_errors,
+            "disk_orphans_swept": self.disk_orphans_swept,
             "degraded": self.degraded,
             "function_hits": self.function_hits,
             "function_misses": self.function_misses,
@@ -241,6 +247,30 @@ class CompilationCache:
                 # service — run memory-only from the start.
                 self.stats.disk_errors += 1
                 self._degrade_disk(f"cache directory unusable: {error}")
+            else:
+                self._sweep_tmp_orphans()
+
+    def _sweep_tmp_orphans(self) -> None:
+        """Remove stale ``*.json.tmp.*`` files left by writers that
+        died between creating a temp file and ``os.replace``-ing it
+        into place. ``clear(disk=True)`` also sweeps them, but a
+        long-lived server never calls ``clear`` — init is the one
+        point every cache lifetime passes through. Counted in
+        ``stats.disk_orphans_swept`` (adjacent to ``disk_errors`` in
+        the stats surface) so operators can see crashed writers."""
+        try:
+            names = os.listdir(self.disk_path)
+        except OSError as error:
+            self._record_disk_trouble(f"orphan sweep failed: {error}")
+            return
+        for name in names:
+            if ".json.tmp." not in name:
+                continue
+            try:
+                os.unlink(os.path.join(self.disk_path, name))
+            except OSError:
+                continue
+            self.stats.disk_orphans_swept += 1
 
     @property
     def degraded(self) -> bool:

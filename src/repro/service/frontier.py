@@ -28,12 +28,33 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence
 
+from dataclasses import dataclass, field
+
 from ..testing.faults import FaultPlan, FaultSite
 from .cache import CompilationCache
 from .engine import CompileEngine, CompileJob, JobResult
 from .resilience import PoolHealthPolicy, QuarantinePolicy, RetryPolicy
 
 _SENTINEL = None
+
+
+@dataclass
+class _QueueItem:
+    """One admitted job in flight between ``submit`` and a dispatcher.
+
+    ``taken`` is the single-ownership flag between the three parties
+    that may finish an item — a dispatcher popping it, a racing
+    ``submit`` refusing it after losing the close race, and ``close``
+    draining leftovers stranded behind the shutdown sentinels. All
+    three run on the event loop, so flipping the flag is atomic; the
+    first to flip it owns the item's future, spans, and depth count.
+    """
+
+    job: CompileJob
+    future: asyncio.Future
+    root: object = None
+    wait: object = None
+    taken: bool = field(default=False)
 
 
 class ServiceClosedError(RuntimeError):
@@ -99,13 +120,29 @@ class ServiceFrontier:
         Jobs admitted before ``close()`` are still drained to
         completion; ``submit()`` calls arriving from here on raise
         :class:`ServiceClosedError` — enqueueing behind the shutdown
-        sentinels would hang the submitter forever."""
+        sentinels would hang the submitter forever. A submit that
+        *races* the close (already past its closed check, parked in
+        ``queue.put``) is refused the same way: its spans are ended,
+        its future fails with :class:`ServiceClosedError`, and any
+        copy stranded in the queue is drained here, never dispatched
+        and never leaked."""
         if self._queue is None:
             return
         self._closing = True
         for _ in self._tasks:
             await self._queue.put(_SENTINEL)
         await asyncio.gather(*self._tasks, return_exceptions=True)
+        # asyncio.Queue is not FIFO-fair between a woken putter and a
+        # fresh put: a sentinel enqueued while a submit() was parked in
+        # queue.put() can jump ahead of the job. Any job stranded
+        # behind the sentinels would never be dispatched (the
+        # dispatchers just exited) and its submitter would await its
+        # future forever — refuse them now instead.
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is _SENTINEL or item.taken:
+                continue
+            self._refuse(item)
         self._tasks = []
         if self._threads is not None:
             self._threads.shutdown(wait=True)
@@ -161,8 +198,9 @@ class ServiceFrontier:
             self.engine.profiler.record_queue_depth(depth)
         if events is not None:
             events.emit("ADMITTED", job_id=job.job_id, depth=depth)
+        item = _QueueItem(job, future, root, wait)
         try:
-            await self._queue.put((job, future, root, wait))
+            await self._queue.put(item)
         except BaseException:
             with self._depth_lock:
                 self._depth -= 1
@@ -170,7 +208,44 @@ class ServiceFrontier:
                 tracer.end_span(wait, "error")
                 tracer.end_span(root, "error")
             raise
+        if self._closing and not item.taken:
+            # Lost the race with close(): the check at the top passed,
+            # but close() began while this coroutine was parked in
+            # queue.put(), and the enqueued job may sit behind the
+            # shutdown sentinels (queue wakeups are not FIFO-fair with
+            # fresh puts). A dispatcher that already claimed the item
+            # (taken) will still complete it; otherwise refuse it here
+            # so the await below raises instead of hanging forever.
+            self._refuse(item)
         return await future
+
+    def _refuse(self, item: _QueueItem) -> None:
+        """Terminate a refused admission: end its spans with an error,
+        emit the terminal event, and fail its future. Runs on the
+        event loop only; the caller must not have ceded ownership
+        (``item.taken``) to a dispatcher."""
+        item.taken = True
+        with self._depth_lock:
+            self._depth -= 1
+            depth = self._depth
+        if self.engine.profiler is not None:
+            self.engine.profiler.record_queue_depth(depth)
+        tracer = getattr(self.engine, "tracer", None)
+        events = getattr(self.engine, "events", None)
+        if tracer is not None:
+            # Every refusal path must end what admission started, or
+            # the exported trace carries spans that never finished
+            # (validate_chrome_trace flags the children as orphans).
+            tracer.end_span(item.wait, "error")
+            tracer.end_span(item.root, "error")
+        if events is not None:
+            events.emit("COMPLETED", job_id=item.job.job_id,
+                        status="cancelled", refused=True)
+        if not item.future.done():
+            item.future.set_exception(ServiceClosedError(
+                "frontier closed while the job was being admitted; "
+                "the job was refused before dispatch"
+            ))
 
     async def run(self, jobs: Sequence[CompileJob]) -> List[JobResult]:
         """Submit all jobs (respecting backpressure) and gather results
@@ -188,7 +263,14 @@ class ServiceFrontier:
             item = await self._queue.get()
             if item is _SENTINEL:
                 return
-            job, future, root, wait = item
+            if item.taken:
+                # Refused by a racing submit()/close() that already
+                # ended the spans and failed the future; nothing left
+                # to do (depth was settled by the refuser too).
+                continue
+            item.taken = True
+            job, future, root, wait = (item.job, item.future,
+                                       item.root, item.wait)
             # Sample depth on *both* edges: enqueue sees the rising
             # slope (how deep backpressure let the queue grow), dequeue
             # the falling one (how fast dispatchers drain it). One-sided
@@ -204,7 +286,7 @@ class ServiceFrontier:
                 self.engine.profiler.record_queue_depth(depth)
             if events is not None:
                 events.emit("DEQUEUED", job_id=job.job_id, depth=depth)
-            if future.cancelled():
+            if future.done():
                 if tracer is not None:
                     tracer.end_span(root, "cancelled")
                 continue
@@ -228,14 +310,14 @@ class ServiceFrontier:
                         f"{type(error).__name__}: {error}"
                     )
                     tracer.end_span(root, "error")
-                if not future.cancelled():
+                if not future.done():
                     future.set_exception(error)
                 continue
             if tracer is not None:
                 tracer.end_span(
                     root, "ok" if result.ok else result.status.value
                 )
-            if not future.cancelled():
+            if not future.done():
                 future.set_result(result)
 
 
@@ -327,19 +409,9 @@ async def _run_batch(frontier: ServiceFrontier,
         return await frontier.run(jobs)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-batch",
-        description="compile a directory of payload modules against a "
-        "schedule library on a cached worker pool",
-    )
-    parser.add_argument("payloads",
-                        help="payload IR file or directory of .mlir files")
-    parser.add_argument("--schedule", action="append", required=True,
-                        metavar="FILE_OR_DIR",
-                        help="transform script file or directory "
-                        "(repeatable; every payload is compiled "
-                        "against every schedule)")
+def add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Engine/cache/resilience flags shared by ``repro-batch`` and
+    ``repro-serve`` (one source of truth for defaults and help)."""
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (0 = in-process "
                         "sequential; default 1)")
@@ -387,54 +459,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         + ", ".join(sorted(s.value for s in FaultSite)))
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed for the fault plan (default 0)")
-    parser.add_argument("--entry-point", default=None,
-                        help="named sequence to run")
-    parser.add_argument("--param", action="append", default=None,
-                        metavar="NAME=VALUE",
-                        help="parameter binding applied to every job "
-                        "(repeatable; VALUE may be a comma list)")
-    parser.add_argument("-o", "--output-dir", default=None,
-                        help="write each result module here "
-                        "(<payload>.<schedule>.mlir)")
-    parser.add_argument("--json", default=None, metavar="FILE",
-                        help="write machine-readable metrics here")
-    parser.add_argument("--trace-out", default=None, metavar="FILE",
-                        help="write a Chrome trace-event JSON of the "
-                        "whole batch here (open in ui.perfetto.dev)")
-    parser.add_argument("--events-out", default=None, metavar="FILE",
-                        help="write the JSONL job-lifecycle event log "
-                        "here (one record per state transition)")
-    parser.add_argument("--timing", action="store_true",
-                        help="print the -mlir-timing-style service "
-                        "report to stderr")
-    args = parser.parse_args(argv)
 
-    try:
-        payload_files = _collect(args.payloads)
-        schedule_files = [
-            path
-            for entry in args.schedule
-            for path in _collect(entry)
-        ]
-        params = _parse_params(args.param)
-        fault_rates = _parse_faults(args.fault)
-    except (FileNotFoundError, ValueError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+
+def build_engine(args, profiler=None, tracer=None, events=None):
+    """Construct the (engine, cache, faults) triple from parsed
+    :func:`add_engine_arguments` flags. Raises ``ValueError`` on
+    invalid combinations (callers map that to exit code 2)."""
     if args.max_attempts < 1:
-        print("error: --max-attempts must be >= 1", file=sys.stderr)
-        return 2
-    if not payload_files or not schedule_files:
-        print("error: no payloads or no schedules found", file=sys.stderr)
-        return 2
-
-    from ..observability import EventLog, Tracer
-    from ..profiling import Profiler
-
-    profiler = Profiler()
-    tracer = Tracer() if args.trace_out is not None else None
-    events = (EventLog(args.events_out)
-              if args.events_out is not None else None)
+        raise ValueError("--max-attempts must be >= 1")
+    fault_rates = _parse_faults(args.fault)
     faults = (FaultPlan(seed=args.fault_seed, rates=fault_rates)
               if fault_rates else None)
     retry_statuses = frozenset(
@@ -469,6 +502,144 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer=tracer,
         events=events,
     )
+    return engine, cache, faults
+
+
+def _main_connected(args, jobs: Sequence[CompileJob]) -> int:
+    """Route a prepared batch through a running ``repro-serve``
+    daemon: all jobs are submitted concurrently over one connection
+    (the server's admission queue provides the backpressure a local
+    frontier would), outputs and the status summary match the local
+    path so scripts can switch with just ``--connect``."""
+    from .client import AsyncServiceClient, RemoteError
+
+    async def drive():
+        client = await AsyncServiceClient.connect(args.connect)
+        try:
+            results = await asyncio.gather(
+                *(client.submit(
+                    payload_text=job.payload_text,
+                    script_text=job.script_text,
+                    params=job.params,
+                    entry_point=job.entry_point,
+                    job_id=job.job_id,
+                    priority=args.priority,
+                ) for job in jobs),
+                return_exceptions=True,
+            )
+            try:
+                remote_stats = await client.stats()
+            except Exception:
+                remote_stats = None
+            return results, remote_stats
+        finally:
+            await client.close()
+
+    try:
+        results, remote_stats = asyncio.run(drive())
+    except (OSError, RemoteError) as error:
+        print(f"error: cannot reach server at {args.connect}: {error}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    if args.output_dir is not None:
+        os.makedirs(args.output_dir, exist_ok=True)
+    counts: dict = {}
+    for job, result in zip(jobs, results):
+        if isinstance(result, BaseException):
+            failures += 1
+            counts["refused"] = counts.get("refused", 0) + 1
+            print(f"{job.job_id}: refused ({result})", file=sys.stderr)
+            continue
+        tag = result.status.value + (" (cached)" if result.cache_hit else "")
+        print(f"{job.job_id}: {tag}")
+        counts[result.status.value] = counts.get(result.status.value, 0) + 1
+        if result.ok and args.output_dir is not None:
+            out = os.path.join(args.output_dir, f"{job.job_id}.mlir")
+            with open(out, "w") as handle:
+                handle.write((result.output or "") + "\n")
+        if not result.ok:
+            failures += 1
+            if result.diagnostics:
+                print(result.diagnostics, file=sys.stderr)
+    summary = "  ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    print(f"{len(results)} job(s)  {summary}  [via {args.connect}]")
+    if args.json is not None:
+        metrics = {
+            "jobs": len(results),
+            "by_status": counts,
+            "connect": args.connect,
+            "server": remote_stats,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(metrics, handle, indent=2)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-batch",
+        description="compile a directory of payload modules against a "
+        "schedule library on a cached worker pool",
+    )
+    parser.add_argument("payloads",
+                        help="payload IR file or directory of .mlir files")
+    parser.add_argument("--schedule", action="append", required=True,
+                        metavar="FILE_OR_DIR",
+                        help="transform script file or directory "
+                        "(repeatable; every payload is compiled "
+                        "against every schedule)")
+    parser.add_argument("--connect", default=None, metavar="ADDRESS",
+                        help="route the batch through a running "
+                        "repro-serve daemon (unix socket path or "
+                        "HOST:PORT) instead of spawning a local pool; "
+                        "engine/cache/resilience flags are the "
+                        "server's business and are ignored")
+    add_engine_arguments(parser)
+    parser.add_argument("--priority", default="batch",
+                        choices=("interactive", "batch", "background"),
+                        help="priority class for --connect submissions "
+                        "(default batch)")
+    parser.add_argument("--entry-point", default=None,
+                        help="named sequence to run")
+    parser.add_argument("--param", action="append", default=None,
+                        metavar="NAME=VALUE",
+                        help="parameter binding applied to every job "
+                        "(repeatable; VALUE may be a comma list)")
+    parser.add_argument("-o", "--output-dir", default=None,
+                        help="write each result module here "
+                        "(<payload>.<schedule>.mlir)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write machine-readable metrics here")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON of the "
+                        "whole batch here (open in ui.perfetto.dev)")
+    parser.add_argument("--events-out", default=None, metavar="FILE",
+                        help="write the JSONL job-lifecycle event log "
+                        "here (one record per state transition)")
+    parser.add_argument("--timing", action="store_true",
+                        help="print the -mlir-timing-style service "
+                        "report to stderr")
+    args = parser.parse_args(argv)
+
+    try:
+        payload_files = _collect(args.payloads)
+        schedule_files = [
+            path
+            for entry in args.schedule
+            for path in _collect(entry)
+        ]
+        params = _parse_params(args.param)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.max_attempts < 1:
+        print("error: --max-attempts must be >= 1", file=sys.stderr)
+        return 2
+    if not payload_files or not schedule_files:
+        print("error: no payloads or no schedules found", file=sys.stderr)
+        return 2
 
     payload_labels = _unique_labels(payload_files)
     schedule_labels = _unique_labels(schedule_files)
@@ -483,6 +654,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         for payload, payload_label in zip(payload_files, payload_labels)
         for schedule, schedule_label in zip(schedule_files, schedule_labels)
     ]
+
+    if args.connect is not None:
+        return _main_connected(args, jobs)
+
+    from ..observability import EventLog, Tracer
+    from ..profiling import Profiler
+
+    profiler = Profiler()
+    tracer = Tracer() if args.trace_out is not None else None
+    events = (EventLog(args.events_out)
+              if args.events_out is not None else None)
+    try:
+        engine, cache, faults = build_engine(
+            args, profiler=profiler, tracer=tracer, events=events)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     frontier = ServiceFrontier(engine, max_queue=args.queue_size)
     try:

@@ -1,0 +1,759 @@
+"""``repro-serve``: the persistent compile daemon.
+
+A single :class:`CompileServer` keeps one warm
+:class:`~repro.service.engine.CompileEngine` (worker pool + caches)
+alive across many clients, so only the first batch ever pays pool
+spawn and a cold cache. The wire protocol stays at the same
+"ordinary IR in, ordinary IR out" altitude as the rest of the stack:
+newline-delimited JSON objects over a Unix or TCP socket, one request
+per line, every response frame echoing the request ``id`` so one
+connection can multiplex concurrent submits.
+
+Requests (``op`` field)::
+
+    {"op": "submit", "id": "1", "payload": "...", "script": "...",
+     "params": {"factor": 4}, "entry_point": null,
+     "priority": "interactive", "stream": true}
+    {"op": "stats", "id": "2"}
+    {"op": "ping", "id": "3"}
+    {"op": "drain", "id": "4"}            # finish admitted, refuse new
+    {"op": "drain", "id": "4", "stop": true}   # ... then exit
+    {"op": "reload", "id": "5", "cache_dir": "/tmp/c2",
+     "max_attempts": 3}                   # drain, hot-swap, resume
+
+``payload``/``script`` may instead arrive as ``payload_path`` /
+``script_path`` (the server reads the file — useful when client and
+server share a filesystem and the IR is large).
+
+Responses (``type`` field): ``result`` (terminal job outcome),
+``event`` (one streamed lifecycle record from the closed
+:data:`~repro.observability.events.EVENT_TYPES` vocabulary, when the
+submit asked for ``stream``), ``stats``/``pong``/``drained``/
+``reloaded``, and ``error`` with a machine-readable ``code``:
+``draining`` (submits refused during drain), ``quota`` (per-client
+admission quota exhausted), ``bad-request``, and ``internal``.
+
+Scheduling: submits carry a priority class (``interactive`` <
+``batch`` < ``background`` by rank); the server admits from a
+priority queue into the frontier's bounded queue, so when the service
+is saturated an interactive job overtakes queued batch work without
+preempting anything already dispatched.
+
+Shutdown contract: SIGTERM (or ``drain {"stop": true}``) finishes
+every admitted job, refuses new submits with ``code="draining"``,
+flushes trace/event exports, and exits 0 — the same
+refuse-never-hang contract :class:`ServiceFrontier` itself honours
+for close/submit races.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import signal
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..observability.events import TERMINAL_EVENTS, EventLog
+from .engine import CompileEngine, CompileJob, JobResult
+from .frontier import (ServiceClosedError, ServiceFrontier,
+                       add_engine_arguments, build_engine)
+
+#: Priority classes in rank order (lower rank admits first).
+PRIORITY_RANKS: Dict[str, int] = {
+    "interactive": 0,
+    "batch": 1,
+    "background": 2,
+}
+
+#: JobResult fields serialized into a ``result`` frame.
+RESULT_FIELDS = (
+    "job_id", "output", "diagnostics", "key", "cache_hit",
+    "output_digest", "coalesced", "function_tier", "worker_seconds",
+    "wall_seconds", "attempts", "stats",
+)
+
+
+def result_to_frame(result: JobResult) -> Dict[str, object]:
+    frame: Dict[str, object] = {
+        "type": "result",
+        "status": result.status.value,
+        "ok": result.ok,
+    }
+    for name in RESULT_FIELDS:
+        frame[name] = getattr(result, name)
+    return frame
+
+
+@dataclass
+class ServerStats:
+    """Daemon-side accounting, folded into the ``stats`` response."""
+
+    connections_total: int = 0
+    connections_active: int = 0
+    submitted: int = 0
+    completed: int = 0
+    streamed: int = 0
+    quota_rejected: int = 0
+    drain_rejected: int = 0
+    bad_requests: int = 0
+    by_priority: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "connections_total": self.connections_total,
+            "connections_active": self.connections_active,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "streamed": self.streamed,
+            "quota_rejected": self.quota_rejected,
+            "drain_rejected": self.drain_rejected,
+            "bad_requests": self.bad_requests,
+            "by_priority": dict(self.by_priority),
+        }
+
+
+class _Client:
+    """Per-connection state: writer, a send lock (frames from
+    concurrent submits must not interleave mid-line), and the
+    admission-quota counter."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.inflight = 0
+        self.name = f"client-{next(self._ids)}"
+
+
+@dataclass(order=True)
+class _Ticket:
+    """One queued submission awaiting an admission slot. Ordered by
+    (priority rank, arrival sequence) for the scheduler's heap."""
+
+    rank: int
+    seq: int
+    job: CompileJob = field(compare=False)
+    client: _Client = field(compare=False)
+    done: asyncio.Future = field(compare=False)
+
+
+class CompileServer:
+    """The persistent daemon around one warm engine + frontier.
+
+    Construct with a started event loop (``await server.start()``),
+    then ``await server.serve_forever()`` or drive it from tests with
+    a client. ``engine.events`` is required for streaming; one is
+    attached automatically when absent.
+    """
+
+    def __init__(self, engine: CompileEngine,
+                 socket_path: Optional[str] = None,
+                 host: Optional[str] = None, port: int = 0,
+                 max_queue: int = 64,
+                 dispatchers: Optional[int] = None,
+                 client_quota: int = 16):
+        if socket_path is None and host is None:
+            raise ValueError("need a unix socket_path or a TCP host")
+        if client_quota < 1:
+            raise ValueError("client_quota must be >= 1")
+        self.engine = engine
+        if engine.events is None:
+            engine.events = EventLog()
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.client_quota = client_quota
+        self.stats = ServerStats()
+        self.frontier = ServiceFrontier(engine, max_queue=max_queue,
+                                        dispatchers=dispatchers)
+        self._seq = itertools.count()
+        self._pending: "asyncio.PriorityQueue[_Ticket]" = None  # type: ignore
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._scheduler: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._streams: Dict[str, asyncio.Queue] = {}
+        self._active_jobs: Set[str] = set()
+        self._clients: Set[_Client] = set()
+        self._draining = False
+        self._stopping = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._inflight_jobs = 0
+        self._admin_lock: Optional[asyncio.Lock] = None
+        self._unsubscribe = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._pending = asyncio.PriorityQueue()
+        self._slots = asyncio.Semaphore(
+            self.frontier.max_queue + self.frontier.dispatchers
+        )
+        self._stopped = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._admin_lock = asyncio.Lock()
+        await self.frontier.start()
+        self._unsubscribe = self.engine.events.subscribe(self._on_event)
+        self._scheduler = asyncio.create_task(
+            self._schedule(), name="serve-scheduler"
+        )
+        if self.socket_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return self.socket_path
+        return f"{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: refuse new submits, finish admitted
+        jobs, then tear down the listener, scheduler, frontier, and
+        client connections. Idempotent."""
+        if self._stopped is None or self._stopped.is_set():
+            return
+        self._stopping = True
+        self._draining = True
+        await self._idle.wait()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+            self._scheduler = None
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        await self.frontier.close()
+        for client in list(self._clients):
+            try:
+                client.writer.close()
+            except Exception:
+                pass
+        self._stopped.set()
+
+    async def __aenter__(self) -> "CompileServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- event routing -------------------------------------------------------
+
+    def _on_event(self, record: Dict[str, object]) -> None:
+        """EventLog subscriber: runs on the *emitting* thread (engine
+        dispatcher threads included), so it only trampolines onto the
+        loop; the per-job queues are touched on the loop alone."""
+        job_id = record.get("job_id")
+        if not isinstance(job_id, str):
+            return
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._route_event, job_id, record)
+        except RuntimeError:
+            pass  # loop shut down between the check and the call
+
+    def _route_event(self, job_id: str, record: Dict[str, object]) -> None:
+        queue = self._streams.get(job_id)
+        if queue is not None:
+            queue.put_nowait(record)
+
+    # -- scheduling ----------------------------------------------------------
+
+    async def _schedule(self) -> None:
+        """Admit queued tickets into the frontier in (priority rank,
+        arrival) order. The semaphore bounds how many submissions may
+        occupy the frontier at once, so the priority queue — not the
+        frontier's FIFO — is where saturated-service ordering is
+        decided."""
+        assert self._pending is not None and self._slots is not None
+        while True:
+            ticket = await self._pending.get()
+            await self._slots.acquire()
+            asyncio.create_task(self._run_ticket(ticket))
+
+    async def _run_ticket(self, ticket: _Ticket) -> None:
+        try:
+            result = await self.frontier.submit(ticket.job)
+        except BaseException as error:
+            if not ticket.done.done():
+                ticket.done.set_exception(error)
+        else:
+            if not ticket.done.done():
+                ticket.done.set_result(result)
+        finally:
+            self._slots.release()
+
+    def _job_started(self) -> None:
+        self._inflight_jobs += 1
+        self._idle.clear()
+
+    def _job_finished(self) -> None:
+        self._inflight_jobs -= 1
+        if self._inflight_jobs <= 0:
+            self._idle.set()
+
+    def _unique_job_id(self, requested: Optional[str]) -> str:
+        """Server-side job ids must be unique among in-flight jobs or
+        two clients' event streams would cross; suffix on collision."""
+        base = requested or f"job-{next(self._seq)}"
+        job_id = base
+        attempt = 0
+        while job_id in self._active_jobs:
+            attempt += 1
+            job_id = f"{base}~{attempt}"
+        return job_id
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        client = _Client(writer)
+        self._clients.add(client)
+        self.stats.connections_total += 1
+        self.stats.connections_active += 1
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request is not an object")
+                except ValueError as error:
+                    self.stats.bad_requests += 1
+                    await self._send(client, {
+                        "type": "error", "code": "bad-request",
+                        "message": f"undecodable request: {error}",
+                    })
+                    continue
+                task = asyncio.create_task(
+                    self._handle_request(client, request)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            self._clients.discard(client)
+            self.stats.connections_active -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _send(self, client: _Client,
+                    frame: Dict[str, object]) -> None:
+        data = (json.dumps(frame) + "\n").encode()
+        async with client.lock:
+            if client.writer.is_closing():
+                return
+            client.writer.write(data)
+            try:
+                await client.writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(self, client: _Client,
+                              request: Dict[str, object]) -> None:
+        rid = request.get("id")
+        op = request.get("op")
+        try:
+            if op == "submit":
+                await self._handle_submit(client, rid, request)
+            elif op == "stats":
+                await self._send(client, {
+                    "type": "stats", "id": rid,
+                    **self.stats_snapshot(),
+                })
+            elif op == "ping":
+                await self._send(client, {
+                    "type": "pong", "id": rid,
+                    "draining": self._draining,
+                })
+            elif op == "drain":
+                await self._handle_drain(client, rid, request)
+            elif op == "reload":
+                await self._handle_reload(client, rid, request)
+            else:
+                self.stats.bad_requests += 1
+                await self._send(client, {
+                    "type": "error", "id": rid, "code": "bad-request",
+                    "message": f"unknown op {op!r}",
+                })
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # defensive: never kill the reader
+            await self._send(client, {
+                "type": "error", "id": rid, "code": "internal",
+                "message": f"{type(error).__name__}: {error}",
+            })
+
+    # -- ops -----------------------------------------------------------------
+
+    def _build_job(self, request: Dict[str, object]) -> CompileJob:
+        payload = request.get("payload")
+        if payload is None and request.get("payload_path"):
+            with open(str(request["payload_path"])) as handle:
+                payload = handle.read()
+        script = request.get("script")
+        if script is None and request.get("script_path"):
+            with open(str(request["script_path"])) as handle:
+                script = handle.read()
+        if not isinstance(payload, str) or not isinstance(script, str):
+            raise ValueError(
+                "submit needs payload/script text or *_path fields"
+            )
+        params = request.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise ValueError("params must be an object")
+        timeout = request.get("timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+        requested = request.get("job_id")
+        return CompileJob(
+            payload_text=payload,
+            script_text=script,
+            params=params,
+            entry_point=request.get("entry_point"),
+            timeout=timeout,
+            job_id=self._unique_job_id(
+                str(requested) if requested is not None else None
+            ),
+        )
+
+    async def _handle_submit(self, client: _Client, rid,
+                             request: Dict[str, object]) -> None:
+        if self._draining:
+            self.stats.drain_rejected += 1
+            await self._send(client, {
+                "type": "error", "id": rid, "code": "draining",
+                "message": "server is draining; submit refused",
+            })
+            return
+        if client.inflight >= self.client_quota:
+            self.stats.quota_rejected += 1
+            await self._send(client, {
+                "type": "error", "id": rid, "code": "quota",
+                "message": (
+                    f"client admission quota exhausted "
+                    f"({self.client_quota} jobs in flight)"
+                ),
+            })
+            return
+        priority = str(request.get("priority") or "batch")
+        if priority not in PRIORITY_RANKS:
+            self.stats.bad_requests += 1
+            await self._send(client, {
+                "type": "error", "id": rid, "code": "bad-request",
+                "message": f"unknown priority {priority!r} (choose "
+                           f"from: {', '.join(sorted(PRIORITY_RANKS))})",
+            })
+            return
+        try:
+            job = self._build_job(request)
+        except (OSError, ValueError) as error:
+            self.stats.bad_requests += 1
+            await self._send(client, {
+                "type": "error", "id": rid, "code": "bad-request",
+                "message": str(error),
+            })
+            return
+
+        stream = bool(request.get("stream"))
+        sub_queue: Optional[asyncio.Queue] = None
+        if stream:
+            sub_queue = asyncio.Queue()
+            self._streams[job.job_id] = sub_queue
+            self.stats.streamed += 1
+        self._active_jobs.add(job.job_id)
+        client.inflight += 1
+        self._job_started()
+        self.stats.submitted += 1
+        self.stats.by_priority[priority] = (
+            self.stats.by_priority.get(priority, 0) + 1
+        )
+        done: asyncio.Future = self._loop.create_future()
+        ticket = _Ticket(rank=PRIORITY_RANKS[priority],
+                         seq=next(self._seq), job=job,
+                         client=client, done=done)
+        self._pending.put_nowait(ticket)
+        try:
+            if sub_queue is not None:
+                await self._forward_events(client, rid, sub_queue, done)
+            try:
+                result = await done
+            except ServiceClosedError as error:
+                await self._send(client, {
+                    "type": "error", "id": rid, "code": "draining",
+                    "message": str(error), "job_id": job.job_id,
+                })
+                return
+            frame = result_to_frame(result)
+            frame["id"] = rid
+            if request.get("job_id") is not None:
+                frame["requested_job_id"] = request["job_id"]
+            await self._send(client, frame)
+            self.stats.completed += 1
+        finally:
+            self._streams.pop(job.job_id, None)
+            self._active_jobs.discard(job.job_id)
+            client.inflight -= 1
+            self._job_finished()
+
+    async def _forward_events(self, client: _Client, rid,
+                              sub_queue: asyncio.Queue,
+                              done: asyncio.Future) -> None:
+        """Stream this job's lifecycle records until its terminal
+        event. The engine emits the terminal COMPLETED record *before*
+        the frontier resolves the result future (both cross to the
+        loop via call_soon_threadsafe, in order), so draining after
+        ``done`` resolves is bounded — but a short timeout guards the
+        contract anyway rather than hanging a client on a violation."""
+        while True:
+            getter = asyncio.ensure_future(sub_queue.get())
+            await asyncio.wait(
+                {getter, done}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if getter.done():
+                record = getter.result()
+                await self._send(client, {
+                    "type": "event", "id": rid, **record
+                })
+                if record.get("event") in TERMINAL_EVENTS:
+                    return
+                continue
+            getter.cancel()
+            try:
+                while True:
+                    record = await asyncio.wait_for(sub_queue.get(), 1.0)
+                    await self._send(client, {
+                        "type": "event", "id": rid, **record
+                    })
+                    if record.get("event") in TERMINAL_EVENTS:
+                        return
+            except asyncio.TimeoutError:
+                return
+
+    async def _handle_drain(self, client: _Client, rid,
+                            request: Dict[str, object]) -> None:
+        """Finish every admitted job, refuse new submits (structured
+        ``draining`` errors), then acknowledge; with ``stop`` the whole
+        server shuts down after the ack (TERM uses the same path)."""
+        async with self._admin_lock:
+            self._draining = True
+            await self._idle.wait()
+        await self._send(client, {
+            "type": "drained", "id": rid,
+            "completed": self.engine.stats.completed,
+            "stopping": bool(request.get("stop")),
+        })
+        if request.get("stop"):
+            asyncio.create_task(self.stop())
+
+    async def _handle_reload(self, client: _Client, rid,
+                             request: Dict[str, object]) -> None:
+        """Drain, hot-swap what the request names (cache dir/size,
+        retry policy, job timeout), then resume admissions. The swap
+        happens at inflight == 0 so no job straddles two configs."""
+        from .cache import CompilationCache
+        from .resilience import RetryPolicy
+
+        async with self._admin_lock:
+            self._draining = True
+            await self._idle.wait()
+            applied: List[str] = []
+            try:
+                if ("cache_dir" in request or "cache_size" in request
+                        or request.get("clear_cache")):
+                    old = self.engine.cache
+                    capacity = int(request.get(
+                        "cache_size",
+                        getattr(old, "capacity", 256) or 256,
+                    ))
+                    disk_path = request.get(
+                        "cache_dir", getattr(old, "disk_path", None)
+                    )
+                    self.engine.cache = CompilationCache(
+                        capacity=capacity, disk_path=disk_path,
+                        faults=getattr(self.engine, "faults", None),
+                    )
+                    applied.append("cache")
+                if "max_attempts" in request or "backoff" in request:
+                    attempts = int(request.get("max_attempts", 2))
+                    if attempts < 1:
+                        raise ValueError("max_attempts must be >= 1")
+                    self.engine.retry_policy = (
+                        RetryPolicy(
+                            max_attempts=attempts,
+                            base_backoff=float(
+                                request.get("backoff", 0.0)
+                            ),
+                        )
+                        if attempts > 1 else RetryPolicy.none()
+                    )
+                    applied.append("retry")
+                if "job_timeout" in request:
+                    timeout = request["job_timeout"]
+                    self.engine.job_timeout = (
+                        float(timeout) if timeout is not None else None
+                    )
+                    applied.append("job_timeout")
+            except (TypeError, ValueError) as error:
+                self.stats.bad_requests += 1
+                self._draining = self._stopping
+                await self._send(client, {
+                    "type": "error", "id": rid, "code": "bad-request",
+                    "message": str(error),
+                })
+                return
+            # Resume admissions — unless a stop() began while we held
+            # the drain, in which case it owns the draining flag.
+            self._draining = self._stopping
+        await self._send(client, {
+            "type": "reloaded", "id": rid, "applied": applied,
+        })
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        snapshot: Dict[str, object] = {
+            "server": self.stats.as_dict(),
+            "engine": self.engine.stats.as_dict(),
+            "cache": (self.engine.cache.stats.as_dict()
+                      if self.engine.cache is not None else None),
+            "draining": self._draining,
+            "queue_depth": self.frontier.queue_depth,
+        }
+        profiler = getattr(self.engine, "profiler", None)
+        if profiler is not None:
+            snapshot["profiler"] = profiler.to_json()
+            snapshot["metrics"] = profiler.registry_snapshot()
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# repro-serve CLI
+# ---------------------------------------------------------------------------
+
+
+async def _serve(args, engine) -> int:
+    server = CompileServer(
+        engine,
+        socket_path=args.socket,
+        host=args.host if args.socket is None else None,
+        port=args.port,
+        max_queue=args.queue_size,
+        client_quota=args.client_quota,
+    )
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(
+            signum,
+            lambda: asyncio.ensure_future(server.stop()),
+        )
+    # The readiness line CI and scripts wait for before connecting.
+    print(f"repro-serve: listening on {server.address}", flush=True)
+    await server.serve_forever()
+    print("repro-serve: drained and stopped", flush=True)
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json.dump(server.stats_snapshot(), handle, indent=2)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="persistent compile daemon: a warm worker pool and "
+        "cache behind a line-delimited JSON protocol on a unix or TCP "
+        "socket (submit with repro-submit or repro-batch --connect)",
+    )
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="unix socket path to listen on")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP host to bind when --socket is not "
+                        "given (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default 0 = ephemeral; the "
+                        "chosen port is printed on the readiness line)")
+    parser.add_argument("--client-quota", type=int, default=16,
+                        metavar="N",
+                        help="max in-flight jobs per client connection "
+                        "before submits get a structured quota error "
+                        "(default 16)")
+    add_engine_arguments(parser)
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the final stats snapshot here on "
+                        "shutdown")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON of the "
+                        "server's lifetime here on shutdown")
+    parser.add_argument("--events-out", default=None, metavar="FILE",
+                        help="write the JSONL job-lifecycle event log "
+                        "here (shared by all clients)")
+    args = parser.parse_args(argv)
+
+    from ..observability import Tracer
+    from ..profiling import Profiler
+
+    profiler = Profiler()
+    tracer = Tracer() if args.trace_out is not None else None
+    events = EventLog(args.events_out)
+    try:
+        engine, _cache, _faults = build_engine(
+            args, profiler=profiler, tracer=tracer, events=events)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        code = asyncio.run(_serve(args, engine))
+    except KeyboardInterrupt:
+        code = 0
+    finally:
+        engine.shutdown()
+        if tracer is not None:
+            tracer.write_chrome(args.trace_out)
+        events.close()
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

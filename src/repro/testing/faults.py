@@ -255,7 +255,7 @@ def _chaos_jobs(rng: random.Random) -> List[Tuple[str, str]]:
 def run_chaos_case(case_seed: int, workers: int = 1,
                    job_timeout: float = 0.25,
                    watchdog_seconds: float = 120.0,
-                   tracer=None, events=None,
+                   tracer=None, events=None, server: bool = False,
                    ) -> Tuple[ChaosReport, FaultPlan]:
     """Run one chaos case; the report carries any violated invariants.
 
@@ -263,8 +263,15 @@ def run_chaos_case(case_seed: int, workers: int = 1,
     attached to the chaos engine when given, so a failing schedule
     leaves a replayable span + event timeline next to the report —
     the fired faults join against the event log on job id.
+
+    With ``server=True`` the batch travels the full daemon path — a
+    :class:`~repro.service.server.CompileServer` on a temporary unix
+    socket, submissions through the asyncio client — so fault seeds
+    exercise the wire protocol and the server's scheduler under the
+    same invariants as the direct-frontier path.
     """
     import asyncio
+    import os
     import tempfile
 
     from ..profiling import Profiler
@@ -322,6 +329,24 @@ def run_chaos_case(case_seed: int, workers: int = 1,
         )
 
         async def drive():
+            if server:
+                from ..service.client import AsyncServiceClient
+                from ..service.server import CompileServer
+
+                sock = os.path.join(tmp, "chaos.sock")
+                daemon = CompileServer(engine, socket_path=sock,
+                                       max_queue=4)
+                async with daemon:
+                    client = await AsyncServiceClient.connect(sock)
+                    try:
+                        return list(await asyncio.gather(
+                            *(client.submit(job.payload_text,
+                                            job.script_text,
+                                            job_id=job.job_id)
+                              for job in jobs())
+                        ))
+                    finally:
+                        await client.close()
             frontier = ServiceFrontier(engine, max_queue=4)
             async with frontier:
                 return await frontier.run(jobs())
@@ -432,14 +457,16 @@ def run_chaos_case(case_seed: int, workers: int = 1,
 
 def run_chaos(seed: int = 0, cases: int = 50, workers: int = 1,
               job_timeout: float = 0.25,
-              tracer=None, events=None) -> ChaosReport:
+              tracer=None, events=None,
+              server: bool = False) -> ChaosReport:
     """Run ``cases`` chaos cases derived from ``seed``."""
     total = ChaosReport()
     for index in range(cases):
         case_seed = seed * 1_000_003 + index
         report, _plan = run_chaos_case(case_seed, workers=workers,
                                        job_timeout=job_timeout,
-                                       tracer=tracer, events=events)
+                                       tracer=tracer, events=events,
+                                       server=server)
         total.cases += 1
         total.jobs += report.jobs
         total.recovered += report.recovered
@@ -474,6 +501,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--case-seed", type=int, default=None,
                         help="re-run a single case by its case-seed "
                         "(as printed in a failure report)")
+    parser.add_argument("--server", action="store_true",
+                        help="route every case through a repro-serve "
+                        "daemon on a temporary unix socket (wire "
+                        "protocol + server scheduler under faults) "
+                        "instead of the direct frontier path")
     parser.add_argument("--schedule-out", default=None, metavar="FILE",
                         help="on failure, write the fired fault "
                         "schedules of failing cases here (JSON) for "
@@ -504,7 +536,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report, plan = run_chaos_case(args.case_seed,
                                       workers=args.workers,
                                       job_timeout=args.timeout,
-                                      tracer=tracer, events=events)
+                                      tracer=tracer, events=events,
+                                      server=args.server)
         _flush_observability()
         print(report.render())
         print(f"fault schedule: {json.dumps(plan.schedule())}")
@@ -512,7 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = run_chaos(args.seed, args.cases, workers=args.workers,
                        job_timeout=args.timeout,
-                       tracer=tracer, events=events)
+                       tracer=tracer, events=events,
+                       server=args.server)
     _flush_observability()
     print(report.render())
     if not report.ok and args.schedule_out is not None:

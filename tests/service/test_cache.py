@@ -110,6 +110,25 @@ class TestDiskTier:
         cache.clear(disk=True)
         assert cache.get("k") is None
 
+    def test_init_sweeps_tmp_orphans(self, tmp_path):
+        # Regression: a writer killed mid-put (chaos does exactly
+        # this) leaves a *.json.tmp.* file that only clear(disk=True)
+        # ever removed — in a long-lived server they accumulated
+        # forever. Init now sweeps them, counts the sweep, and leaves
+        # real entries untouched.
+        store = tmp_path / "cc"
+        first = CompilationCache(capacity=4, disk_path=str(store))
+        first.put("keep", _result("kept"))
+        (store / "aaaa.json.tmp.123.456.0").write_text('{"part')
+        (store / "bbbb.json.tmp.789.12.3").write_text("")
+        second = CompilationCache(capacity=4, disk_path=str(store))
+        assert second.stats.disk_orphans_swept == 2
+        leftovers = [p.name for p in store.iterdir()
+                     if ".json.tmp." in p.name]
+        assert leftovers == []
+        assert second.get("keep").output == "kept"
+        assert "disk_orphans_swept" in second.stats.as_dict()
+
     def test_roundtrip_preserves_diagnostics(self):
         original = CachedResult("silenceable", "module", "warning: skipped")
         restored = CachedResult.from_json(original.to_json())

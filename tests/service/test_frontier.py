@@ -181,6 +181,110 @@ class TestFrontier:
 
         asyncio.run(go())
 
+    def test_close_racing_submit_refuses_instead_of_hanging(self):
+        # Regression (close/submit race): submit() passed its closed
+        # check, then parked in queue.put(); close() ran to completion
+        # meanwhile. asyncio.Queue wakeups are not FIFO-fair with
+        # fresh puts, so the job could land behind (or after) the
+        # shutdown sentinels — never dispatched, submitter hung
+        # forever. The gate below deterministically forces that exact
+        # interleaving: the job's put is held while close() finishes,
+        # then released into the dead queue.
+        async def go():
+            with CompileEngine(workers=0) as engine:
+                frontier = ServiceFrontier(engine, dispatchers=1)
+                await frontier.start()
+                gate = asyncio.Event()
+                parked = asyncio.Event()
+                real_put = frontier._queue.put
+
+                async def gated_put(item):
+                    if item is not None:  # sentinels pass the gate
+                        parked.set()
+                        await gate.wait()
+                    await real_put(item)
+
+                frontier._queue.put = gated_put
+                submitter = asyncio.ensure_future(
+                    frontier.submit(_job(job_id="racer"))
+                )
+                # The submit is past its closed-flag check, parked in
+                # put(); now let close() win the race outright.
+                await asyncio.wait_for(parked.wait(), timeout=5.0)
+                await asyncio.wait_for(frontier.close(), timeout=5.0)
+                gate.set()
+                with pytest.raises(ServiceClosedError):
+                    await asyncio.wait_for(submitter, timeout=5.0)
+
+        asyncio.run(go())
+
+    def test_refused_submit_ends_spans_and_trace_validates(self, tmp_path):
+        # Regression (span leak on refusal): the per-job root span
+        # opens before admission, so a refusal used to leave it (and
+        # its queue.wait child) unended — validate_chrome_trace then
+        # flags the child as an orphan because unended spans never
+        # reach the exporter. Interleave the same close/submit race
+        # with a tracer attached and check the exported trace.
+        from repro.observability import (
+            Tracer,
+            validate_chrome_trace,
+            validate_events,
+        )
+        from repro.observability.events import EventLog
+
+        tracer = Tracer()
+        events = EventLog()
+
+        async def go():
+            with CompileEngine(workers=0, tracer=tracer,
+                               events=events) as engine:
+                frontier = ServiceFrontier(engine, dispatchers=1)
+                await frontier.start()
+                ok = await frontier.submit(_job(job_id="fine"))
+                assert ok.ok
+                gate = asyncio.Event()
+                parked = asyncio.Event()
+                real_put = frontier._queue.put
+
+                async def gated_put(item):
+                    if item is not None:
+                        parked.set()
+                        await gate.wait()
+                    await real_put(item)
+
+                frontier._queue.put = gated_put
+                submitter = asyncio.ensure_future(
+                    frontier.submit(_job(job_id="refused"))
+                )
+                await asyncio.wait_for(parked.wait(), timeout=5.0)
+                await asyncio.wait_for(frontier.close(), timeout=5.0)
+                gate.set()
+                with pytest.raises(ServiceClosedError):
+                    await asyncio.wait_for(submitter, timeout=5.0)
+
+        asyncio.run(go())
+        trace_out = tmp_path / "trace.json"
+        tracer.write_chrome(str(trace_out))
+        trace = json.loads(trace_out.read_text())
+        assert validate_chrome_trace(trace) == []
+        # The refused job's spans are present and marked as errors —
+        # ended, not leaked.
+        statuses = {
+            event["args"].get("status")
+            for event in trace["traceEvents"]
+            if event.get("ph") == "X"
+            and event["args"].get("job_id") == "refused"
+        }
+        assert statuses == {"error"}
+        # The event stream stays schema-valid too: the refusal emits
+        # the terminal COMPLETED (status=cancelled) so the vocabulary
+        # stays closed.
+        assert validate_events(events.records()) == []
+        refusal = [r for r in events.records()
+                   if r.get("job_id") == "refused"]
+        assert [r["event"] for r in refusal] == ["ADMITTED", "COMPLETED"]
+        assert refusal[-1]["status"] == "cancelled"
+
     def test_restart_after_close_accepts_jobs_again(self):
         async def go():
             with CompileEngine(workers=0) as engine:

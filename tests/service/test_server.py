@@ -1,0 +1,423 @@
+"""The repro-serve daemon: protocol, quotas, streams, drain, TERM."""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.observability import read_events, validate_chrome_trace
+from repro.service import (
+    AsyncServiceClient,
+    CompileEngine,
+    CompileServer,
+    JobResult,
+    JobStatus,
+    RemoteError,
+    ServiceClient,
+)
+from repro.service.client import parse_address
+from repro.service.frontier import main as batch_main
+
+from .test_engine import PAYLOAD, UNROLL, UNROLL_BOUND
+
+
+class _GatedEngine:
+    """Engine stub whose jobs block until released — the tool for
+    holding the server's in-flight set open deterministically."""
+
+    workers = 0
+    profiler = None
+    faults = None
+    tracer = None
+    cache = None
+
+    def __init__(self):
+        self.events = None  # the server attaches an EventLog
+        self.release = threading.Event()
+        self.stats = SimpleNamespace(
+            as_dict=lambda: {"completed": 0}, completed=0
+        )
+
+    def run_job(self, job, parent_span=None):
+        self.events.emit("STARTED", job_id=job.job_id)
+        assert self.release.wait(10.0)
+        self.events.emit("COMPLETED", job_id=job.job_id,
+                         status="success")
+        return JobResult(job.job_id, JobStatus.SUCCESS)
+
+
+def _sock(tmp_path) -> str:
+    return str(tmp_path / "serve.sock")
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:8765") == \
+            ("tcp", "127.0.0.1", 8765)
+
+    def test_bare_port(self):
+        assert parse_address(":8765") == ("tcp", "127.0.0.1", 8765)
+
+    def test_unix_path(self):
+        assert parse_address("/tmp/x.sock") == \
+            ("unix", "/tmp/x.sock", None)
+
+    def test_path_with_colon_stays_unix(self):
+        assert parse_address("/tmp/odd:1/s.sock")[0] == "unix"
+
+
+class TestServerRoundtrip:
+    def test_connect_submit_stream_drain(self, tmp_path):
+        # The canonical lifecycle: connect, streamed submit, cached
+        # resubmit, stats, drain — then submits are refused with a
+        # structured error, and stop() tears down cleanly.
+        async def go():
+            engine = CompileEngine(workers=0)
+            sock = _sock(tmp_path)
+            try:
+                async with CompileServer(engine, socket_path=sock,
+                                         max_queue=8) as server:
+                    client = await AsyncServiceClient.connect(sock)
+                    seen = []
+                    result = await client.submit(
+                        PAYLOAD, UNROLL, job_id="first",
+                        priority="interactive",
+                        on_event=lambda f: seen.append(f["event"]),
+                    )
+                    assert result.ok and result.job_id == "first"
+                    assert seen[0] == "ADMITTED"
+                    assert seen[-1] == "COMPLETED"
+                    again = await client.submit(PAYLOAD, UNROLL)
+                    assert again.ok
+                    stats = await client.stats()
+                    assert stats["server"]["submitted"] == 2
+                    assert stats["server"]["completed"] == 2
+                    assert stats["server"]["streamed"] == 1
+                    drained = await client.drain()
+                    assert drained["type"] == "drained"
+                    with pytest.raises(RemoteError) as exc:
+                        await client.submit(PAYLOAD, UNROLL)
+                    assert exc.value.code == "draining"
+                    assert server.stats.drain_rejected == 1
+                    await client.close()
+            finally:
+                engine.shutdown()
+
+        asyncio.run(go())
+
+    def test_param_binding_and_bad_request(self, tmp_path):
+        async def go():
+            engine = CompileEngine(workers=0)
+            sock = _sock(tmp_path)
+            try:
+                async with CompileServer(engine, socket_path=sock):
+                    client = await AsyncServiceClient.connect(sock)
+                    result = await client.submit(
+                        PAYLOAD, UNROLL_BOUND, params={"factor": 4}
+                    )
+                    assert result.ok
+                    assert result.output.count("1 : i64") == 4
+                    with pytest.raises(RemoteError) as exc:
+                        await client.submit(None, UNROLL)
+                    assert exc.value.code == "bad-request"
+                    with pytest.raises(RemoteError) as exc:
+                        await client.submit(PAYLOAD, UNROLL,
+                                            priority="urgent")
+                    assert exc.value.code == "bad-request"
+                    await client.close()
+            finally:
+                engine.shutdown()
+
+        asyncio.run(go())
+
+    def test_submit_by_path(self, tmp_path):
+        payload_file = tmp_path / "p.mlir"
+        payload_file.write_text(PAYLOAD)
+        schedule_file = tmp_path / "s.mlir"
+        schedule_file.write_text(UNROLL)
+
+        async def go():
+            engine = CompileEngine(workers=0)
+            sock = _sock(tmp_path)
+            try:
+                async with CompileServer(engine, socket_path=sock):
+                    client = await AsyncServiceClient.connect(sock)
+                    result = await client.submit(
+                        payload_path=str(payload_file),
+                        script_path=str(schedule_file),
+                    )
+                    assert result.ok
+                    await client.close()
+            finally:
+                engine.shutdown()
+
+        asyncio.run(go())
+
+
+class TestQuota:
+    def test_quota_exhaustion_is_a_structured_error_not_a_hang(
+            self, tmp_path):
+        # With a quota of 1, a second submit while the first is still
+        # in flight must come back immediately as code="quota" — and
+        # succeed once the slot frees.
+        async def go():
+            engine = _GatedEngine()
+            sock = _sock(tmp_path)
+            async with CompileServer(engine, socket_path=sock,
+                                     client_quota=1) as server:
+                client = await AsyncServiceClient.connect(sock)
+                first = asyncio.ensure_future(
+                    client.submit(PAYLOAD, UNROLL, job_id="held")
+                )
+                await asyncio.sleep(0.1)  # job is gated in run_job
+                with pytest.raises(RemoteError) as exc:
+                    await asyncio.wait_for(
+                        client.submit(PAYLOAD, UNROLL), timeout=5.0
+                    )
+                assert exc.value.code == "quota"
+                assert server.stats.quota_rejected == 1
+                engine.release.set()
+                result = await asyncio.wait_for(first, timeout=10.0)
+                assert result.ok
+                retry = await asyncio.wait_for(
+                    client.submit(PAYLOAD, UNROLL), timeout=10.0
+                )
+                assert retry.ok
+                await client.close()
+
+        asyncio.run(go())
+
+
+class TestEventStreams:
+    def test_concurrent_clients_see_disjoint_streams(self, tmp_path):
+        # Two clients submit under the same requested job id while the
+        # first is still in flight: the server must disambiguate the
+        # ids, and each client's stream must only carry its own job.
+        async def go():
+            engine = _GatedEngine()
+            sock = _sock(tmp_path)
+            async with CompileServer(engine, socket_path=sock):
+                one = await AsyncServiceClient.connect(sock)
+                two = await AsyncServiceClient.connect(sock)
+                seen_one, seen_two = [], []
+                first = asyncio.ensure_future(one.submit(
+                    PAYLOAD, UNROLL, job_id="dup",
+                    on_event=seen_one.append,
+                ))
+                await asyncio.sleep(0.1)  # "dup" is now in flight
+                second = asyncio.ensure_future(two.submit(
+                    PAYLOAD, UNROLL, job_id="dup",
+                    on_event=seen_two.append,
+                ))
+                await asyncio.sleep(0.1)
+                engine.release.set()
+                result_one = await asyncio.wait_for(first, 10.0)
+                result_two = await asyncio.wait_for(second, 10.0)
+                assert result_one.job_id == "dup"
+                assert result_two.job_id == "dup~1"
+                ids_one = {f["job_id"] for f in seen_one}
+                ids_two = {f["job_id"] for f in seen_two}
+                assert ids_one == {"dup"}
+                assert ids_two == {"dup~1"}
+                assert seen_one and seen_one[-1]["event"] == "COMPLETED"
+                assert seen_two and seen_two[-1]["event"] == "COMPLETED"
+                await one.close()
+                await two.close()
+
+        asyncio.run(go())
+
+
+class TestReload:
+    def test_reload_hot_swaps_cache_dir(self, tmp_path):
+        async def go():
+            from repro.service import CompilationCache
+
+            dir_a = str(tmp_path / "cache-a")
+            dir_b = str(tmp_path / "cache-b")
+            engine = CompileEngine(
+                workers=0,
+                cache=CompilationCache(capacity=16, disk_path=dir_a),
+            )
+            sock = _sock(tmp_path)
+            try:
+                async with CompileServer(engine, socket_path=sock):
+                    client = await AsyncServiceClient.connect(sock)
+                    assert (await client.submit(PAYLOAD, UNROLL)).ok
+                    ack = await client.reload(cache_dir=dir_b)
+                    assert ack["type"] == "reloaded"
+                    assert "cache" in ack["applied"]
+                    # Admissions resumed, and the swap took: the same
+                    # job is a miss against the fresh store, which
+                    # then persists under the new directory.
+                    result = await client.submit(PAYLOAD, UNROLL)
+                    assert result.ok
+                    assert engine.cache.disk_path == dir_b
+                    assert any(
+                        name.endswith(".json")
+                        for name in os.listdir(dir_b)
+                    )
+                    await client.close()
+            finally:
+                engine.shutdown()
+
+        asyncio.run(go())
+
+
+def _start_threaded_server(engine, sock):
+    """Run a CompileServer on a private loop in a daemon thread, for
+    exercising the blocking client and the CLI paths."""
+    loop = asyncio.new_event_loop()
+    server = CompileServer(engine, socket_path=sock, max_queue=16)
+    started = threading.Event()
+
+    def runner():
+        asyncio.set_event_loop(loop)
+
+        async def go():
+            await server.start()
+            started.set()
+            await server.serve_forever()
+
+        loop.run_until_complete(go())
+        loop.close()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(10.0)
+
+    def stop():
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(10.0)
+        thread.join(10.0)
+
+    return server, stop
+
+
+class TestSyncClient:
+    def test_blocking_roundtrip(self, tmp_path):
+        engine = CompileEngine(workers=0)
+        sock = _sock(tmp_path)
+        server, stop = _start_threaded_server(engine, sock)
+        try:
+            with ServiceClient(sock) as client:
+                events = []
+                result = client.submit(PAYLOAD, UNROLL,
+                                       job_id="sync",
+                                       on_event=events.append)
+                assert result.ok and result.job_id == "sync"
+                assert events[-1]["event"] == "COMPLETED"
+                assert client.ping()["type"] == "pong"
+                assert client.stats()["server"]["submitted"] == 1
+        finally:
+            stop()
+            engine.shutdown()
+
+
+class TestBatchConnect:
+    def test_repro_batch_connect_routes_through_server(
+            self, tmp_path, capsys):
+        engine = CompileEngine(workers=0)
+        sock = _sock(tmp_path)
+        server, stop = _start_threaded_server(engine, sock)
+        payloads = tmp_path / "payloads"
+        payloads.mkdir()
+        (payloads / "a.mlir").write_text(PAYLOAD)
+        (payloads / "b.mlir").write_text(PAYLOAD)
+        schedule = tmp_path / "unroll.mlir"
+        schedule.write_text(UNROLL)
+        out = tmp_path / "out"
+        metrics = tmp_path / "metrics.json"
+        try:
+            code = batch_main([
+                str(payloads),
+                "--schedule", str(schedule),
+                "--connect", sock,
+                "-o", str(out),
+                "--json", str(metrics),
+            ])
+            assert code == 0
+            produced = sorted(p.name for p in out.iterdir())
+            assert produced == ["a.unroll.mlir", "b.unroll.mlir"]
+            data = json.loads(metrics.read_text())
+            assert data["jobs"] == 2
+            assert data["by_status"] == {"success": 2}
+            assert data["connect"] == sock
+            assert data["server"]["server"]["submitted"] == 2
+            # The batch ran on the server's engine, not a local one.
+            assert engine.stats.completed == 2
+        finally:
+            stop()
+            engine.shutdown()
+
+
+class TestDaemonProcess:
+    def test_sigterm_mid_batch_drains_admitted_then_exits_zero(
+            self, tmp_path):
+        # Boot the real CLI, park jobs on the daemon, TERM it mid
+        # batch: admitted jobs must finish (their submitters get
+        # results), late submits must be refused with code=draining,
+        # the process must exit 0, and the exported trace must
+        # validate.
+        sock = _sock(tmp_path)
+        trace_out = str(tmp_path / "serve-trace.json")
+        events_out = str(tmp_path / "serve-events.jsonl")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__),
+                                         "..", "..", "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server",
+             "--socket", sock, "--jobs", "0",
+             "--trace-out", trace_out, "--events-out", events_out],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            ready = proc.stdout.readline()
+            assert "listening on" in ready
+            results, errors = [], []
+
+            def submit(job_id):
+                try:
+                    with ServiceClient(sock, timeout=30.0) as client:
+                        results.append(client.submit(
+                            PAYLOAD, UNROLL, job_id=job_id
+                        ))
+                except RemoteError as error:
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=submit, args=(f"term-{i}",))
+                for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            proc.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(30.0)
+            code = proc.wait(timeout=30.0)
+            assert code == 0
+            # Every submitter got a definitive answer: a finished job
+            # or a structured refusal — never a hang.
+            assert len(results) + len(errors) == 4
+            assert all(r.ok for r in results)
+            assert all(e.code in ("draining", "disconnected")
+                       for e in errors)
+            # Admitted jobs ran to completion before exit.
+            assert results, "TERM drained without finishing any job"
+            trace = json.load(open(trace_out))
+            assert validate_chrome_trace(trace) == []
+            recorded = read_events(events_out)
+            done = [r for r in recorded
+                    if r.get("event") == "COMPLETED"]
+            assert len(done) >= len(results)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10.0)
