@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Frontend-authored payload + schedule template, swept via params.
+
+Everything here is authored in Python — no textual IR:
+
+1. ``@frontend.jit`` traces a loop-nest payload into `repro.ir`
+   (digest-stable under print→parse, so it caches like text);
+2. ``frontend.Schedule`` builds ONE schedule template whose tile/vector
+   knobs are ``transform.param.constant {binding}`` ops;
+3. the sweep submits the SAME (payload, schedule) pair to the compile
+   service with different ``params`` — each binding combination is a
+   distinct cache entry, a repeat is a cache hit;
+4. a cost model ranks the transformed modules.
+
+Run:  python examples/frontend_autotune.py
+      python examples/frontend_autotune.py --trials 8
+      # against a warm daemon (second run is all cache hits):
+      repro-serve --socket /tmp/repro.sock &
+      python examples/frontend_autotune.py --connect /tmp/repro.sock
+"""
+
+import argparse
+import itertools
+
+from repro import frontend as fe
+from repro.execution.costmodel import CostModel
+from repro.ir.parser import parse
+
+
+@fe.jit
+def payload(x: fe.F64):
+    for i in range(0, 128, 1):
+        for j in range(64):
+            a = i * 64 + j
+            b = a * a
+            c = b - i
+
+
+def make_template() -> fe.Schedule:
+    """Tile the outer loop (tunable sizes), vectorize the innermost."""
+    schedule = fe.Schedule()
+    tile = schedule.param([4, 4], binding="TILES")
+    vec = schedule.param(1, binding="VEC")
+    schedule.match("scf.for", position="first") \
+            .tile(sizes=tile, keep="inner")
+    schedule.match("scf.for", position="last").vectorize(vec)
+    return schedule
+
+
+def sweep_local(schedule_text: str, configs, trials: int):
+    from repro.service.cache import CompilationCache
+    from repro.service.engine import CompileEngine, CompileJob
+
+    cost = CostModel()
+    ranked = []
+    with CompileEngine(workers=0,
+                       cache=CompilationCache(capacity=64)) as engine:
+        for params in itertools.islice(configs, trials):
+            job = CompileJob(payload_text=payload.mlir,
+                             script_text=schedule_text, params=params)
+            result = engine.run_job(job)
+            if not result.ok or result.output is None:
+                print(f"  {params}: {result.status.value}")
+                continue
+            seconds = cost.estimate_module(
+                parse(result.output, "<swept>"))
+            ranked.append((seconds, params, result.cache_hit))
+            print(f"  {params}: {seconds * 1e3:.3f} ms modelled"
+                  + (" (cached)" if result.cache_hit else ""))
+        # Resubmit the best config: the engine answers from cache.
+        ranked.sort(key=lambda item: item[0])
+        if ranked:
+            _, best, _ = ranked[0]
+            again = engine.run_job(CompileJob(
+                payload_text=payload.mlir, script_text=schedule_text,
+                params=best))
+            print(f"\nbest config {best} resubmitted: "
+                  f"cache_hit={again.cache_hit}")
+    return ranked
+
+
+def sweep_connected(address: str, schedule_text: str, configs,
+                    trials: int):
+    from repro.service.client import ServiceClient
+
+    cost = CostModel()
+    client = ServiceClient(address)
+    ranked = []
+    for params in itertools.islice(configs, trials):
+        result = client.submit(payload_text=payload.mlir,
+                               script_text=schedule_text, params=params)
+        if not result.ok or result.output is None:
+            print(f"  {params}: {result.status.value}")
+            continue
+        seconds = cost.estimate_module(parse(result.output, "<swept>"))
+        ranked.append((seconds, params, result.cache_hit))
+        print(f"  {params}: {seconds * 1e3:.3f} ms modelled"
+              + (" (cached)" if result.cache_hit else ""))
+    ranked.sort(key=lambda item: item[0])
+    return ranked
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--trials", type=int, default=6)
+    parser.add_argument("--connect", default=None, metavar="ADDRESS",
+                        help="sweep against a running repro-serve "
+                        "daemon instead of an in-process engine")
+    args = parser.parse_args()
+
+    print("traced payload digest:", payload.digest[:16])
+    template = make_template()
+    schedule_text = template.mlir
+    assert not template.lint().has_errors(), "template must be lint-clean"
+
+    configs = ({"TILES": [t1, t2], "VEC": v}
+               for t1 in (4, 8, 16, 32)
+               for t2 in (4, 8)
+               for v in (1, 8))
+
+    print(f"\nsweeping {args.trials} configurations:")
+    if args.connect:
+        ranked = sweep_connected(args.connect, schedule_text, configs,
+                                 args.trials)
+    else:
+        ranked = sweep_local(schedule_text, configs, args.trials)
+
+    if ranked:
+        best_seconds, best, _ = ranked[0]
+        print(f"\nwinner: {best} at {best_seconds * 1e3:.3f} ms modelled")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,9 @@ from .tuner import (
 from .integration import (
     TransformTuningProblem,
     case_study_5_problem,
+    case_study_5_template,
+    case_study_5_template_problem,
+    template_tuning_problem,
     tune_transform_script,
 )
 
@@ -28,5 +31,8 @@ __all__ = [
     "Trial",
     "TuningResult",
     "case_study_5_problem",
+    "case_study_5_template",
+    "case_study_5_template_problem",
+    "template_tuning_problem",
     "tune_transform_script",
 ]

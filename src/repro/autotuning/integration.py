@@ -121,3 +121,79 @@ def tune_transform_script(
         "speedup_evolution": result.speedup_evolution(first_sample),
     }
     return result, summary
+
+
+# ---------------------------------------------------------------------------
+# Frontend builder templates
+# ---------------------------------------------------------------------------
+
+
+def template_tuning_problem(
+    template,
+    payload_factory: Callable[[], Operation],
+    space: SearchSpace,
+    cost_model: Optional[CostModel] = None,
+) -> TransformTuningProblem:
+    """A tuning problem driven by ONE schedule template.
+
+    ``template`` is a :class:`repro.frontend.Schedule` (or an already
+    built script op) whose ``transform.param.constant {binding}`` knobs
+    name the parameters of ``space``. Each trial clones the template
+    and rebinds the knobs through the *same* override path the compile
+    service uses for job params
+    (:func:`repro.service.worker.bind_parameters`), so a configuration
+    tuned here is directly replayable as ``--param NAME=VALUE`` against
+    ``repro-serve``.
+    """
+    script = template.build() if hasattr(template, "build") else template
+
+    def script_factory(config: Config) -> Operation:
+        bound = script.clone()
+        from ..service.worker import bind_parameters
+        bind_parameters(bound, dict(config))
+        return bound
+
+    return TransformTuningProblem(
+        space=space,
+        payload_factory=payload_factory,
+        script_factory=script_factory,
+        cost_model=cost_model or CostModel(),
+    )
+
+
+def case_study_5_template(default_tile: int = 4, default_vec: int = 1):
+    """The Fig. 9 schedule as a frontend builder template: tile sizes
+    and vector width are ``param.constant {binding}`` knobs instead of
+    baked-in constants."""
+    from ..frontend import Schedule
+
+    schedule = Schedule()
+    tile1 = schedule.param(default_tile, binding="TILE1")
+    tile2 = schedule.param(default_tile, binding="TILE2")
+    vec = schedule.param(default_vec, binding="VEC")
+    schedule.match("scf.for", position="second") \
+            .tile(sizes=[tile1, tile2], keep="inner")
+    schedule.match("scf.for", position="last").vectorize(vec)
+    return schedule
+
+
+def case_study_5_template_problem(batch: int = 4, m: int = 128,
+                                  n: int = 128, k: int = 104,
+                                  vector_width: int = 8
+                                  ) -> TransformTuningProblem:
+    """The Fig. 9/10 problem re-expressed over the builder template."""
+    space = SearchSpace(
+        parameters=[
+            Parameter.divisors_of("TILE1", m),
+            Parameter.divisors_of("TILE2", n),
+            Parameter.of("VEC", [1, vector_width, 2 * vector_width]),
+        ],
+        constraints=[
+            lambda config: config["VEC"] == 1 or k % config["VEC"] == 0,
+        ],
+    )
+    return template_tuning_problem(
+        case_study_5_template(),
+        lambda: build_batch_matmul_module(batch, m, n, k),
+        space,
+    )

@@ -1,0 +1,25 @@
+"""Frontend error hierarchy.
+
+The eDSL reports misuse as Python exceptions *at authoring time*:
+tracing a payload raises :class:`TraceError` for Python constructs the
+restricted subset cannot express, and the schedule builder raises
+:class:`ScheduleError` for handle misuse (most importantly
+use-after-consume, §3.1) before any IR-level analysis runs.
+"""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class for all `repro.frontend` errors."""
+
+
+class TraceError(FrontendError):
+    """A traced payload function used Python the tracer cannot stage."""
+
+
+class ScheduleError(FrontendError):
+    """A schedule builder chain misused a transform handle."""
+
+
+__all__ = ["FrontendError", "TraceError", "ScheduleError"]

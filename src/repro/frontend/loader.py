@@ -1,0 +1,119 @@
+"""Loading frontend-authored payload/schedule modules from ``.py`` files.
+
+``repro-batch`` and ``repro-submit`` accept Python modules wherever
+they accept ``.mlir`` files. A payload module provides one of (first
+match wins):
+
+* a ``PAYLOAD``/``payload`` attribute — a :class:`TracedFunction`, an
+  :class:`~repro.ir.core.Operation`, IR text, or a zero-argument
+  callable returning any of those;
+* exactly one module-level :class:`TracedFunction`.
+
+A schedule module likewise provides ``SCHEDULE``/``schedule`` or
+exactly one module-level :class:`~repro.frontend.schedule.Schedule`.
+Either way the result is IR *text* — from there on the service path is
+identical to textual submission, including digest-keyed caching.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import itertools
+import os
+
+from ..ir.core import Operation
+from ..ir.printer import print_op
+from .errors import FrontendError
+from .schedule import Schedule
+from .tracer import TracedFunction
+
+__all__ = ["is_python_module", "load_payload_text", "load_schedule_text",
+           "read_payload_source", "read_schedule_source"]
+
+_counter = itertools.count()
+
+
+def is_python_module(path: str) -> bool:
+    return path.endswith(".py")
+
+
+def _import_file(path: str):
+    if not os.path.isfile(path):
+        raise FileNotFoundError(path)
+    name = f"_repro_frontend_module_{next(_counter)}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise FrontendError(f"cannot import {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _coerce_text(obj, path: str, role: str) -> str:
+    if callable(obj) and not isinstance(obj, (TracedFunction, Schedule)):
+        obj = obj()
+    if isinstance(obj, TracedFunction):
+        return obj.mlir
+    if isinstance(obj, Schedule):
+        return obj.mlir
+    if isinstance(obj, Operation):
+        return print_op(obj)
+    if isinstance(obj, str):
+        return obj
+    raise FrontendError(
+        f"{path}: {role} must be a traced function, Schedule, Operation, "
+        f"or IR text; got {type(obj).__name__}"
+    )
+
+
+def _find(module, path: str, names, instance_type, role: str):
+    for name in names:
+        if hasattr(module, name):
+            return getattr(module, name)
+    candidates = [
+        value for key, value in vars(module).items()
+        if not key.startswith("_") and isinstance(value, instance_type)
+    ]
+    if len(candidates) == 1:
+        return candidates[0]
+    if not candidates:
+        raise FrontendError(
+            f"{path}: no {role} found; define "
+            f"'{names[0]}' or exactly one {instance_type.__name__}"
+        )
+    raise FrontendError(
+        f"{path}: ambiguous {role}: found {len(candidates)} candidates; "
+        f"name one '{names[0]}'"
+    )
+
+
+def load_payload_text(path: str) -> str:
+    """Import a ``.py`` payload module and return its IR text."""
+    module = _import_file(path)
+    obj = _find(module, path, ("PAYLOAD", "payload"), TracedFunction,
+                "payload")
+    return _coerce_text(obj, path, "payload")
+
+
+def load_schedule_text(path: str) -> str:
+    """Import a ``.py`` schedule module and return its IR text."""
+    module = _import_file(path)
+    obj = _find(module, path, ("SCHEDULE", "schedule"), Schedule,
+                "schedule")
+    return _coerce_text(obj, path, "schedule")
+
+
+def read_payload_source(path: str) -> str:
+    """Payload text from either a ``.py`` module or an IR file."""
+    if is_python_module(path):
+        return load_payload_text(path)
+    with open(path) as handle:
+        return handle.read()
+
+
+def read_schedule_source(path: str) -> str:
+    """Schedule text from either a ``.py`` module or an IR file."""
+    if is_python_module(path):
+        return load_schedule_text(path)
+    with open(path) as handle:
+        return handle.read()

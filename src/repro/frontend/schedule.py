@@ -1,0 +1,654 @@
+"""A fluent, typed builder for transform scripts.
+
+``Schedule().match("linalg.matmul").tile(sizes=[32, 32]).unroll(4)``
+emits the same transform IR one would write by hand, with two
+guarantees the textual path cannot give:
+
+* **Use-after-consume is a Python error.** Every emitted transform op
+  consults the op class's ``CONSUMES`` contract (§3.1); consuming a
+  handle marks it dead at build time, so reusing it raises
+  :class:`~repro.frontend.errors.ScheduleError` before ``repro-lint``
+  (let alone the interpreter) ever sees the script.
+* **Lint-clean by construction.** Because the builder refuses stale
+  handles and only ``include``\\ s sequences it knows are defined, the
+  emitted script carries zero error-severity ``repro-lint``
+  diagnostics (dead-handle/dead-macro *warnings* remain possible —
+  they are advisory).
+
+The **cursor** is the implicit subject of the chain: ``match`` sets
+it, in-place transforms keep it, and a consuming transform moves it to
+its main result (``tile`` → the inner loop, ``split`` → the main
+part). When a consuming transform returns nothing (``unroll``,
+``to_library``), the cursor falls back to the most recently created
+handle still live — after ``.tile(...).unroll(4)`` the chain continues
+on the *outer* tile loop.
+
+``param(value, binding="NAME")`` emits ``transform.param.constant
+{binding = "NAME"}``, the anchor the service's parameter-override path
+(``bind_parameters``) and the autotuner rebind per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core import dialect as transform
+from ..core.schedules import link_schedule_library
+from ..core.types import ANY_OP
+from ..dialects import builtin
+from ..ir.builder import Builder
+from ..ir.core import Operation, Value
+from ..ir.hashing import op_digest
+from ..ir.printer import print_op
+from .errors import ScheduleError
+
+__all__ = ["Handle", "Schedule"]
+
+
+class Handle:
+    """One transform handle (or param) tracked by the builder."""
+
+    __slots__ = ("value", "kind", "is_param", "label", "consumed_by",
+                 "_scope", "_down")
+
+    def __init__(self, scope: "_Scope", value: Value,
+                 kind: Optional[str] = None, is_param: bool = False,
+                 label: Optional[str] = None):
+        self._scope = scope
+        self.value = value
+        self.kind = kind
+        self.is_param = is_param
+        self.label = label
+        self.consumed_by: Optional[str] = None
+        #: Handles invalidated together with this one — the builder's
+        #: mirror of the lint's derivation edges (nested match results,
+        #: select/merge subset aliases).
+        self._down: List["Handle"] = []
+
+    @property
+    def live(self) -> bool:
+        return self.consumed_by is None
+
+    def __repr__(self) -> str:
+        state = f"consumed by {self.consumed_by}" if self.consumed_by \
+            else "live"
+        name = self.label or self.kind or ("param" if self.is_param
+                                           else "any")
+        return f"<handle {name}: {state}>"
+
+
+class _MacroInfo:
+    __slots__ = ("consumes", "n_results")
+
+    def __init__(self, consumes: Tuple[int, ...], n_results: int):
+        self.consumes = consumes
+        self.n_results = n_results
+
+
+#: Consumption/result contracts of the shipped schedule library
+#: (``repro.core.schedules``), used by ``include`` after
+#: ``use_library()``.
+_LIBRARY_MACROS = {
+    "tile_and_unroll_remainder": _MacroInfo((0,), 1),
+    "offload_to_microkernel": _MacroInfo((0,), 0),
+    "lower_to_llvm": _MacroInfo((), 1),
+}
+
+
+class _Scope:
+    """Shared emission machinery for the entry sequence, macro bodies,
+    and ``alternatives`` regions."""
+
+    def __init__(self, schedule: "Schedule", builder: Builder,
+                 root: Optional[Handle],
+                 parent: Optional["_Scope"] = None):
+        self._schedule = schedule
+        self._builder = builder
+        self._root = root
+        self._parent = parent
+        self._cursor: Optional[Handle] = None
+        self._named: Dict[str, Handle] = {}
+        self._live: List[Handle] = []
+        self._open = True
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _require_open(self, what: str) -> None:
+        if not self._open:
+            raise ScheduleError(
+                f"cannot emit '{what}': this scope is closed "
+                "(its region/sequence has already been finalized)"
+            )
+        self._schedule._require_unbuilt(what)
+
+    def _register(self, handle: Handle,
+                  name: Optional[str] = None) -> Handle:
+        self._live.append(handle)
+        if name is not None:
+            handle.label = name
+            self._named[name] = handle
+        return handle
+
+    def _lookup(self, name: str) -> Handle:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope._named:
+                return scope._named[name]
+            scope = scope._parent
+        raise ScheduleError(f"no handle named {name!r} in scope")
+
+    def _resolve(self, ref: Union[Handle, str]) -> Handle:
+        if isinstance(ref, str):
+            return self._lookup(ref)
+        if not isinstance(ref, Handle):
+            raise ScheduleError(f"expected a handle or name, got {ref!r}")
+        if ref._scope._schedule is not self._schedule:
+            raise ScheduleError(
+                "handle belongs to a different Schedule"
+            )
+        return ref
+
+    def _operand(self, ref: Union[Handle, str], op: str, *,
+                 consume: bool = False) -> Handle:
+        handle = self._resolve(ref)
+        if not handle.live:
+            who = handle.label or handle.kind or "handle"
+            raise ScheduleError(
+                f"use-after-consume: {who} was already consumed by "
+                f"'{handle.consumed_by}' and cannot be passed to '{op}'"
+            )
+        if consume:
+            self._invalidate(handle, op)
+        return handle
+
+    def _invalidate(self, handle: Handle, op: str) -> None:
+        """Mark ``handle`` consumed, plus its whole derivation closure
+        — exactly the set the lint's invalidation analysis would flag
+        (subset aliases both ways, nested handles downward)."""
+        stack = [handle]
+        while stack:
+            current = stack.pop()
+            if not current.live:
+                continue
+            current.consumed_by = op
+            owner = current._scope
+            if current in owner._live:
+                owner._live.remove(current)
+            stack.extend(current._down)
+
+    @staticmethod
+    def _link_nested(source: Handle, result: Handle) -> None:
+        """Result payload nested in source: consuming the source kills
+        the result (``match_op``'s derivation rule)."""
+        source._down.append(result)
+
+    @staticmethod
+    def _link_subset(a: Handle, b: Handle) -> None:
+        """Equal/subset payloads: consuming either kills the other
+        (``select``/``merge_handles``'s derivation rule)."""
+        a._down.append(b)
+        b._down.append(a)
+
+    def _cursor_handle(self, op: str) -> Handle:
+        if self._cursor is None or not self._cursor.live:
+            raise ScheduleError(
+                f"'{op}' needs a current handle: start the chain with "
+                ".match(...) or .use(name)"
+            )
+        return self._cursor
+
+    def _fallback_cursor(self) -> None:
+        self._cursor = self._live[-1] if self._live else None
+
+    def _new(self, value: Value, kind: Optional[str] = None,
+             name: Optional[str] = None) -> Handle:
+        return self._register(Handle(self, value, kind=kind), name)
+
+    def _sizes_arg(self, sizes, op: str):
+        """An int list stays an attribute; a param handle becomes an
+        operand (the tunable form)."""
+        if isinstance(sizes, Handle) or isinstance(sizes, str):
+            handle = self._operand(sizes, op)
+            if not handle.is_param:
+                raise ScheduleError(
+                    f"'{op}' sizes must be ints or a param handle"
+                )
+            return handle.value
+        return sizes
+
+    # -- handle navigation -------------------------------------------------
+
+    @property
+    def root(self) -> Handle:
+        if self._root is None:
+            raise ScheduleError("this scope has no root handle")
+        return self._root
+
+    def handle(self, name: str) -> Handle:
+        """Look up a named handle (raises if unknown)."""
+        return self._lookup(name)
+
+    def use(self, ref: Union[Handle, str]) -> "_Scope":
+        """Make a (named) handle the cursor."""
+        self._cursor = self._operand(ref, "use")
+        return self
+
+    def match(self, names: Union[str, Sequence[str]],
+              position: str = "all",
+              in_: Optional[Union[Handle, str]] = None,
+              name: Optional[str] = None) -> "_Scope":
+        """``transform.match_op``: select payload ops by name."""
+        self._require_open("match")
+        scope = self._operand(in_, "match") if in_ is not None else self.root
+        result = transform.match_op(self._builder, scope.value, names,
+                                    position=position)
+        kind = names if isinstance(names, str) else None
+        self._cursor = self._new(result, kind=kind, name=name)
+        if in_ is not None:
+            self._link_nested(scope, self._cursor)
+        return self
+
+    def select(self, op_name: str, name: Optional[str] = None) -> "_Scope":
+        """``transform.select``: filter the cursor by payload op name."""
+        self._require_open("select")
+        handle = self._cursor_handle("select")
+        result = transform.select(self._builder, handle.value, op_name)
+        self._cursor = self._new(result, kind=op_name, name=name)
+        self._link_subset(handle, self._cursor)
+        return self
+
+    def merge(self, *refs: Union[Handle, str],
+              name: Optional[str] = None) -> "_Scope":
+        """``transform.merge_handles`` over the given handles."""
+        self._require_open("merge")
+        handles = [self._operand(ref, "merge") for ref in refs]
+        if not handles:
+            raise ScheduleError("merge needs at least one handle")
+        result = self._builder.create(
+            "transform.merge_handles",
+            operands=[h.value for h in handles],
+            result_types=[ANY_OP],
+        ).result
+        self._cursor = self._new(result, name=name)
+        for handle in handles:
+            self._link_subset(handle, self._cursor)
+        return self
+
+    def param(self, value: Union[int, Sequence[int]],
+              binding: Optional[str] = None,
+              name: Optional[str] = None) -> Handle:
+        """``transform.param.constant``; a ``binding`` makes it a named
+        autotuning knob for the service override path. Returns the
+        param handle (params never become the cursor)."""
+        self._require_open("param")
+        result = transform.param_constant(self._builder, value)
+        if binding is not None:
+            result.defining_op().set_attr("binding", binding)
+        handle = Handle(self, result, is_param=True, label=name or binding)
+        if name is not None:
+            self._named[name] = handle
+        return handle
+
+    # -- loop transforms ---------------------------------------------------
+
+    def tile(self, sizes, keep: str = "inner",
+             names: Optional[Tuple[str, str]] = None) -> "_Scope":
+        """``transform.loop.tile``: consumes the cursor loop, produces
+        (outer, inner); the cursor moves to ``keep``. ``sizes`` may be
+        an int list (an attribute), one param handle carrying a list,
+        or a list of param handles (one operand per size)."""
+        self._require_open("tile")
+        handle = self._cursor_handle("tile")
+        if isinstance(sizes, (list, tuple)) and any(
+                isinstance(size, (Handle, str)) for size in sizes):
+            params = [self._operand(size, "tile") for size in sizes]
+            if not all(p.is_param for p in params):
+                raise ScheduleError(
+                    "tile sizes must be all ints or all param handles"
+                )
+            self._operand(handle, "tile", consume=True)
+            op = self._builder.create(
+                "transform.loop.tile",
+                operands=[handle.value] + [p.value for p in params],
+                result_types=[ANY_OP, ANY_OP],
+            )
+            outer, inner = op.results[0], op.results[1]
+        else:
+            sizes = self._sizes_arg(sizes, "tile")
+            self._operand(handle, "tile", consume=True)
+            outer, inner = transform.loop_tile(self._builder, handle.value,
+                                               sizes)
+        outer_h = self._new(outer, kind="scf.for",
+                            name=names[0] if names else None)
+        inner_h = self._new(inner, kind="scf.for",
+                            name=names[1] if names else None)
+        if keep not in ("outer", "inner"):
+            raise ScheduleError("tile keep= must be 'outer' or 'inner'")
+        self._cursor = outer_h if keep == "outer" else inner_h
+        return self
+
+    def split(self, div_by, keep: str = "main",
+              names: Optional[Tuple[str, str]] = None) -> "_Scope":
+        """``transform.loop.split`` into (main, rest)."""
+        self._require_open("split")
+        div_by = self._sizes_arg(div_by, "split")
+        handle = self._cursor_handle("split")
+        self._operand(handle, "split", consume=True)
+        main, rest = transform.loop_split(self._builder, handle.value,
+                                          div_by)
+        main_h = self._new(main, kind="scf.for",
+                           name=names[0] if names else None)
+        rest_h = self._new(rest, kind="scf.for",
+                           name=names[1] if names else None)
+        if keep not in ("main", "rest"):
+            raise ScheduleError("split keep= must be 'main' or 'rest'")
+        self._cursor = main_h if keep == "main" else rest_h
+        return self
+
+    def peel(self, keep: str = "main",
+             names: Optional[Tuple[str, str]] = None) -> "_Scope":
+        """``transform.loop.peel`` into (main, remainder)."""
+        self._require_open("peel")
+        handle = self._cursor_handle("peel")
+        self._operand(handle, "peel", consume=True)
+        op = self._builder.create(
+            "transform.loop.peel",
+            operands=[handle.value],
+            result_types=[ANY_OP, ANY_OP],
+        )
+        main_h = self._new(op.results[0], kind="scf.for",
+                           name=names[0] if names else None)
+        rest_h = self._new(op.results[1], kind="scf.for",
+                           name=names[1] if names else None)
+        if keep not in ("main", "rest"):
+            raise ScheduleError("peel keep= must be 'main' or 'rest'")
+        self._cursor = main_h if keep == "main" else rest_h
+        return self
+
+    def unroll(self, factor: Optional[int] = None,
+               full: bool = False) -> "_Scope":
+        """``transform.loop.unroll``: consumes the cursor loop; the
+        cursor falls back to the most recent live handle."""
+        self._require_open("unroll")
+        handle = self._cursor_handle("unroll")
+        self._operand(handle, "unroll", consume=True)
+        transform.loop_unroll(self._builder, handle.value, factor=factor,
+                              full=full)
+        self._fallback_cursor()
+        return self
+
+    def interchange(self, with_: Union[Handle, str]) -> "_Scope":
+        """``transform.loop.interchange`` of the cursor and another
+        loop handle (both stay live)."""
+        self._require_open("interchange")
+        outer = self._cursor_handle("interchange")
+        inner = self._operand(with_, "interchange")
+        transform.loop_interchange(self._builder, outer.value, inner.value)
+        return self
+
+    def hoist(self, target: Optional[Union[Handle, str]] = None) -> "_Scope":
+        """``transform.loop.hoist`` (in place)."""
+        self._require_open("hoist")
+        handle = self._cursor_handle("hoist")
+        target_value = (self._operand(target, "hoist").value
+                        if target is not None else None)
+        transform.loop_hoist(self._builder, handle.value, target_value)
+        return self
+
+    def vectorize(self, width: Union[int, Handle, str] = 8) -> "_Scope":
+        """``transform.loop.vectorize`` (in place); width may be a
+        param handle."""
+        self._require_open("vectorize")
+        handle = self._cursor_handle("vectorize")
+        width = self._sizes_arg(width, "vectorize") \
+            if not isinstance(width, int) else width
+        transform.loop_vectorize(self._builder, handle.value, width)
+        return self
+
+    # -- structured transforms ---------------------------------------------
+
+    def generalize(self) -> "_Scope":
+        """``transform.structured.generalize`` (consumes, recurses)."""
+        self._require_open("generalize")
+        handle = self._cursor_handle("generalize")
+        self._operand(handle, "generalize", consume=True)
+        op = self._builder.create(
+            "transform.structured.generalize",
+            operands=[handle.value],
+            result_types=[ANY_OP],
+        )
+        self._cursor = self._new(op.result, kind="linalg.generic")
+        return self
+
+    def lower_to_loops(self) -> "_Scope":
+        """``transform.structured.lower_to_loops`` (consumes)."""
+        self._require_open("lower_to_loops")
+        handle = self._cursor_handle("lower_to_loops")
+        self._operand(handle, "lower_to_loops", consume=True)
+        op = self._builder.create(
+            "transform.structured.lower_to_loops",
+            operands=[handle.value],
+            result_types=[ANY_OP],
+        )
+        self._cursor = self._new(op.result, kind="scf.for")
+        return self
+
+    def to_library(self, library: str = "libxsmm") -> "_Scope":
+        """``transform.to_library``: replace the cursor nest with a
+        microkernel call (consumes)."""
+        self._require_open("to_library")
+        handle = self._cursor_handle("to_library")
+        self._operand(handle, "to_library", consume=True)
+        transform.to_library(self._builder, handle.value, library)
+        self._fallback_cursor()
+        return self
+
+    # -- pass/pattern application and annotations ---------------------------
+
+    def apply_registered_pass(self, pass_name: str,
+                              options: Optional[Dict[str, object]] = None,
+                              name: Optional[str] = None) -> "_Scope":
+        self._require_open("apply_registered_pass")
+        handle = self._cursor_handle("apply_registered_pass")
+        result = transform.apply_registered_pass(
+            self._builder, handle.value, pass_name, options)
+        self._cursor = self._new(result, name=name)
+        return self
+
+    def apply_patterns(self, *pattern_names: str) -> "_Scope":
+        self._require_open("apply_patterns")
+        handle = self._cursor_handle("apply_patterns")
+        transform.apply_patterns(self._builder, handle.value,
+                                 list(pattern_names))
+        return self
+
+    def annotate(self, attr_name: str, value=None) -> "_Scope":
+        """``transform.annotate`` the cursor's payload (in place)."""
+        self._require_open("annotate")
+        handle = self._cursor_handle("annotate")
+        if isinstance(value, Handle):
+            value = self._operand(value, "annotate").value
+        transform.annotate(self._builder, handle.value, attr_name, value)
+        return self
+
+    def print_(self, message: str = "") -> "_Scope":
+        self._require_open("print")
+        handle = self._cursor_handle("print")
+        transform.print_(self._builder, handle.value, message)
+        return self
+
+    # -- control flow -------------------------------------------------------
+
+    def alternatives(self, *regions: Optional[Callable[["_Scope"], None]],
+                     scope: Optional[Union[Handle, str]] = None) -> "_Scope":
+        """``transform.alternatives``: each callable populates one
+        region against a nested scope; ``None`` leaves an empty
+        (always-succeeding) fallback region. Handles consumed inside
+        any region are conservatively dead afterwards."""
+        self._require_open("alternatives")
+        if not regions:
+            raise ScheduleError("alternatives needs at least one region")
+        scope_handle = (self._operand(scope, "alternatives")
+                        if scope is not None else None)
+        op = transform.alternatives(
+            self._builder, n_regions=len(regions),
+            scope=scope_handle.value if scope_handle else None)
+        for body, region in zip(regions, op.regions):
+            if body is None:
+                continue
+            nested = _Scope(self._schedule,
+                            Builder.at_end(region.entry_block),
+                            self._root, parent=self)
+            nested._cursor = scope_handle or self._cursor
+            body(nested)
+            nested._close("end of alternatives region")
+        return self
+
+    def include(self, target: str,
+                args: Sequence[Union[Handle, str]] = (),
+                name: Optional[str] = None) -> "_Scope":
+        """``transform.include`` of a macro defined with
+        :meth:`Schedule.define` (or, after :meth:`Schedule.use_library`,
+        a shipped library sequence). Arguments the macro consumes are
+        marked consumed here, interprocedurally."""
+        self._require_open("include")
+        info = self._schedule._macro_info(target)
+        handles = [self._operand(ref, f"include @{target}")
+                   for ref in args]
+        if not handles:
+            handles = [self._cursor_handle(f"include @{target}")]
+        for index in info.consumes:
+            if index < len(handles):
+                self._operand(handles[index], f"include @{target}",
+                              consume=True)
+        results_op = transform.include(
+            self._builder, target, [h.value for h in handles],
+            n_results=info.n_results)
+        if info.n_results:
+            self._cursor = self._new(results_op.results[0], name=name)
+            for extra in results_op.results[1:]:
+                self._new(extra)
+        elif self._cursor is not None and not self._cursor.live:
+            self._fallback_cursor()
+        return self
+
+    def _close(self, reason: str) -> None:
+        for handle in list(self._live):
+            handle.consumed_by = reason
+        self._live.clear()
+        self._open = False
+
+
+class Schedule(_Scope):
+    """The fluent schedule builder (entry ``transform.sequence``)."""
+
+    def __init__(self):
+        op, builder, root_value = transform.sequence()
+        super().__init__(self, builder, None)
+        self._root = Handle(self, root_value, label="root")
+        self._sequence_op = op
+        self._macros: Dict[str, _MacroInfo] = {}
+        self._macro_ops: List[Operation] = []
+        self._use_library = False
+        self._built: Optional[Operation] = None
+
+    # -- macro definitions ---------------------------------------------------
+
+    def _require_unbuilt(self, what: str) -> None:
+        if self._built is not None:
+            raise ScheduleError(
+                f"cannot emit '{what}': this schedule is already built"
+            )
+
+    def _macro_info(self, target: str) -> _MacroInfo:
+        if target in self._macros:
+            return self._macros[target]
+        if self._use_library and target in _LIBRARY_MACROS:
+            return _LIBRARY_MACROS[target]
+        known = sorted(self._macros)
+        if self._use_library:
+            known += sorted(_LIBRARY_MACROS)
+        raise ScheduleError(
+            f"include of unknown sequence @{target}; define it with "
+            f".define(...) first (known: {known or 'none'})"
+        )
+
+    def use_library(self) -> "Schedule":
+        """Link the shipped schedule library into the built module so
+        its sequences are includable."""
+        self._require_unbuilt("use_library")
+        self._use_library = True
+        return self
+
+    def define(self, name: str,
+               body: Callable[["_Scope"], Optional[Union[Handle,
+                                                         Sequence[Handle]]]],
+               n_args: int = 1) -> "Schedule":
+        """Define a ``transform.named_sequence`` macro. ``body`` runs
+        against a fresh scope whose cursor is the first argument; any
+        handle(s) it returns become the macro's yielded results."""
+        self._require_unbuilt("define")
+        if name in self._macros:
+            raise ScheduleError(f"sequence @{name} is already defined")
+        op, builder, arg_values = transform.named_sequence(name,
+                                                           n_args=n_args)
+        scope = _Scope(self, builder, None)
+        arg_handles = [Handle(scope, value, label=f"arg{i}")
+                       for i, value in enumerate(arg_values)]
+        scope._root = arg_handles[0]
+        scope._cursor = arg_handles[0]
+        for i, handle in enumerate(arg_handles):
+            scope._named[f"arg{i}"] = handle
+        returned = body(scope)
+        if returned is None:
+            yielded: List[Handle] = []
+        elif isinstance(returned, Handle):
+            yielded = [returned]
+        else:
+            yielded = list(returned)
+        values = [scope._operand(h, "yield").value for h in yielded]
+        transform.yield_(builder, values)
+        consumes = tuple(i for i, handle in enumerate(arg_handles)
+                         if not handle.live)
+        scope._close(f"end of named sequence @{name}")
+        self._macros[name] = _MacroInfo(consumes, len(values))
+        self._macro_ops.append(op)
+        return self
+
+    # -- products ------------------------------------------------------------
+
+    def build(self) -> Operation:
+        """Finalize and return the transform script (idempotent)."""
+        if self._built is not None:
+            return self._built
+        transform.yield_(self._builder)
+        if self._macro_ops or self._use_library:
+            module = builtin.module()
+            for macro in self._macro_ops:
+                module.body.append(macro)
+            module.body.append(self._sequence_op)
+            if self._use_library:
+                link_schedule_library(module)
+            self._built = module
+        else:
+            self._built = self._sequence_op
+        self._close("schedule built")
+        return self._built
+
+    @property
+    def script(self) -> Operation:
+        return self.build()
+
+    @property
+    def mlir(self) -> str:
+        return print_op(self.build())
+
+    @property
+    def digest(self) -> str:
+        return op_digest(self.build())
+
+    def lint(self, **kwargs):
+        """Run ``repro-lint`` over the built script and return the
+        diagnostic engine."""
+        from ..analysis.lint import lint_script
+        return lint_script(self.build(), **kwargs)

@@ -8,11 +8,26 @@ depends on the number and kinds of ops flowing through it, which these
 generators match exactly.
 """
 
+from .frontend_models import (
+    FRONTEND_GENERATORS,
+    build_conv_frontend,
+    build_mlp_frontend,
+)
 from .generators import (
     MODEL_SPECS,
     ModelSpec,
+    build_mlp_model,
     build_model,
     count_ops,
 )
 
-__all__ = ["MODEL_SPECS", "ModelSpec", "build_model", "count_ops"]
+__all__ = [
+    "FRONTEND_GENERATORS",
+    "MODEL_SPECS",
+    "ModelSpec",
+    "build_conv_frontend",
+    "build_mlp_frontend",
+    "build_mlp_model",
+    "build_model",
+    "count_ops",
+]

@@ -1,0 +1,59 @@
+"""Frontend-authored model generators.
+
+The same synthetic graphs as :mod:`repro.mlmodels.generators`, written
+as traced Python instead of explicit builder calls. The MLP generator
+is digest-identical to :func:`~repro.mlmodels.generators.build_mlp_model`
+for the same config — the parity contract that lets frontend-authored
+payloads share compile-service cache entries with textual ones.
+"""
+
+# NB: no ``from __future__ import annotations`` here — the traced
+# functions' Tensor[...] annotations must evaluate eagerly to capture
+# the enclosing generator's shape parameters.
+
+from typing import Callable, Dict
+
+from ..ir.core import Operation
+
+
+def build_mlp_frontend(seq: int = 32, hidden: int = 64) -> Operation:
+    """Trace a single FFN/MLP block (two projections + tanh +
+    residual), mirroring ``_GraphBuilder.ffn_block`` op for op."""
+    from .. import frontend as fe
+
+    @fe.jit(name="main")
+    def mlp(x: fe.Tensor[seq, hidden]):
+        up_weights = fe.ops.const((hidden, 2 * hidden))
+        up = fe.ops.matmul(x, up_weights)
+        activated = fe.ops.tanh(up)
+        down_weights = fe.ops.const((2 * hidden, hidden))
+        down = fe.ops.matmul(activated, down_weights)
+        return x + down
+
+    return mlp.trace()
+
+
+def build_conv_frontend(size: int = 28, channels: int = 16) -> Operation:
+    """Trace one conv block (conv2d + bias add + relu6 clamp) in the
+    NHWC convention of ``_GraphBuilder.conv_block``."""
+    from .. import frontend as fe
+
+    @fe.jit(name="main")
+    def conv(x: fe.Tensor[1, size, size, channels]):
+        weights = fe.ops.const((3, 3, channels, channels))
+        convolved = fe.ops.conv2d(x, weights)
+        bias = fe.ops.const((channels,))
+        biased = convolved + bias
+        return fe.ops.clamp(biased, min_fp=0.0, max_fp=6.0)
+
+    return conv.trace()
+
+
+#: Frontend-authored generators, keyed like ``MODEL_SPECS``.
+FRONTEND_GENERATORS: Dict[str, Callable[..., Operation]] = {
+    "mlp": build_mlp_frontend,
+    "conv_block": build_conv_frontend,
+}
+
+__all__ = ["FRONTEND_GENERATORS", "build_conv_frontend",
+           "build_mlp_frontend"]

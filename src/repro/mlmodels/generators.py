@@ -176,3 +176,23 @@ def count_ops(module: Operation, prefix: str = "tosa.") -> int:
     return sum(
         1 for op in module.walk() if op.name.startswith(prefix)
     )
+
+
+def build_mlp_model(seq: int = 32, hidden: int = 64) -> Operation:
+    """A single FFN/MLP block as a standalone module.
+
+    This is the textual-path reference for the frontend-authored
+    generator in :mod:`repro.mlmodels.frontend_models`; the parity test
+    asserts digest equality between the two.
+    """
+    spec = ModelSpec("mlp", 6, "transformer", hidden=hidden, seq=seq)
+    module = builtin.module()
+    input_type = tensor(seq, hidden, element_type=F32)
+    function = func.func("main", [input_type], [input_type])
+    module.body.append(function)
+    builder = Builder.at_end(function.body)
+    graph = _GraphBuilder(builder, spec)
+    state = graph.ffn_block(function.body.args[0])
+    func.return_(builder, [state])
+    module.verify()
+    return module

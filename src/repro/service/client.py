@@ -350,13 +350,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "daemon (or query/drain it)",
     )
     parser.add_argument("payload", nargs="?", default=None,
-                        help="payload IR file")
+                        help="payload IR file or frontend .py module")
     parser.add_argument("--connect", required=True, metavar="ADDRESS",
                         help="server address: unix socket path or "
                         "HOST:PORT")
     parser.add_argument("--schedule", default=None, metavar="FILE",
-                        help="transform script file (required with a "
-                        "payload)")
+                        help="transform script file or frontend .py "
+                        "module (required with a payload)")
     parser.add_argument("--entry-point", default=None,
                         help="named sequence to run")
     parser.add_argument("--param", action="append", default=None,
@@ -425,12 +425,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                             if k not in ("type", "id", "v", "event")}),
             ), file=sys.stderr)
 
+        from ..frontend.loader import (
+            read_payload_source,
+            read_schedule_source,
+        )
+        try:
+            payload_text = read_payload_source(args.payload)
+            script_text = read_schedule_source(args.schedule)
+        except Exception as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         try:
             result = client.submit(
                 payload_path=None,
                 script_path=None,
-                payload_text=open(args.payload).read(),
-                script_text=open(args.schedule).read(),
+                payload_text=payload_text,
+                script_text=script_text,
                 params=params,
                 entry_point=args.entry_point,
                 job_id=args.job_id,

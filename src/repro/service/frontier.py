@@ -326,7 +326,8 @@ class ServiceFrontier:
 # ---------------------------------------------------------------------------
 
 
-def _collect(path: str, suffix: str = ".mlir") -> List[str]:
+def _collect(path: str,
+             suffixes: Sequence[str] = (".mlir", ".py")) -> List[str]:
     if os.path.isfile(path):
         return [path]
     if not os.path.isdir(path):
@@ -334,7 +335,7 @@ def _collect(path: str, suffix: str = ".mlir") -> List[str]:
     return sorted(
         os.path.join(path, name)
         for name in os.listdir(path)
-        if name.endswith(suffix)
+        if name.endswith(tuple(suffixes))
     )
 
 
@@ -584,12 +585,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schedule library on a cached worker pool",
     )
     parser.add_argument("payloads",
-                        help="payload IR file or directory of .mlir files")
+                        help="payload IR file, frontend .py module, or "
+                        "directory of .mlir/.py files")
     parser.add_argument("--schedule", action="append", required=True,
                         metavar="FILE_OR_DIR",
-                        help="transform script file or directory "
-                        "(repeatable; every payload is compiled "
-                        "against every schedule)")
+                        help="transform script file or frontend .py "
+                        "module, or a directory of them (repeatable; "
+                        "every payload is compiled against every "
+                        "schedule)")
     parser.add_argument("--connect", default=None, metavar="ADDRESS",
                         help="route the batch through a running "
                         "repro-serve daemon (unix socket path or "
@@ -643,16 +646,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     payload_labels = _unique_labels(payload_files)
     schedule_labels = _unique_labels(schedule_files)
+    from ..frontend.loader import read_payload_source, read_schedule_source
+
+    try:
+        payload_texts = [read_payload_source(p) for p in payload_files]
+        schedule_texts = [read_schedule_source(s) for s in schedule_files]
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     jobs = [
         CompileJob(
-            payload_text=open(payload).read(),
-            script_text=open(schedule).read(),
+            payload_text=payload_text,
+            script_text=schedule_text,
             params=params,
             entry_point=args.entry_point,
             job_id=f"{payload_label}.{schedule_label}",
         )
-        for payload, payload_label in zip(payload_files, payload_labels)
-        for schedule, schedule_label in zip(schedule_files, schedule_labels)
+        for payload_text, payload_label in zip(payload_texts,
+                                                payload_labels)
+        for schedule_text, schedule_label in zip(schedule_texts,
+                                                 schedule_labels)
     ]
 
     if args.connect is not None:

@@ -335,7 +335,8 @@ class FuzzReport:
 
     def render(self) -> str:
         lines = [f"fuzz: {self.cases} cases"]
-        for kind in ("success", "silenceable", "definite", "crash"):
+        for kind in ("success", "silenceable", "definite", "crash",
+                     "clean", "violated"):
             if self.outcomes.get(kind):
                 lines.append(f"  {kind}: {self.outcomes[kind]}")
         if self.failures:
@@ -512,7 +513,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="cross-check the static invalidation "
                         "analysis against the dynamic outcome of every "
                         "case (soundness + precision oracle)")
+    parser.add_argument("--frontend", action="store_true",
+                        help="fuzz the repro.frontend schedule builder "
+                        "instead: random fluent chains must emit "
+                        "lint-clean, round-trip-stable scripts and "
+                        "reject stale handles at the Python level")
     args = parser.parse_args(argv)
+
+    if args.frontend:
+        if args.case_seed is not None:
+            outcome, failures = run_frontend_case(args.case_seed)
+            print(f"case-seed {args.case_seed}: {outcome.kind}")
+            for failure in failures:
+                print(f"  {failure}")
+            return 0 if not failures else 1
+        report = run_frontend_fuzz(args.seed, args.cases)
+        print(report.render())
+        return 0 if report.ok else 1
 
     if args.case_seed is not None:
         outcome, failures = run_case(args.case_seed, args.differential)
@@ -525,6 +542,213 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_fuzz(args.seed, args.cases, args.differential)
     print(report.render())
     return 0 if report.ok else 1
+
+
+
+
+# ---------------------------------------------------------------------------
+# Frontend builder fuzzing (--frontend)
+# ---------------------------------------------------------------------------
+
+_FRONTEND_MATCH_NAMES = ("scf.for", "linalg.matmul", "arith.addf",
+                         "func.func", "memref.load")
+_FRONTEND_PASSES = ("convert-scf-to-cf", "lower-affine",
+                    "convert-arith-to-llvm")
+
+
+class FrontendScheduleFuzzer:
+    """Generate random transform scripts *through the builder API*.
+
+    The invariant under test is the frontend's lint-clean-by-
+    construction contract: whatever chain of fluent calls survives the
+    builder's own checks must produce a script with zero
+    error-severity ``repro-lint`` diagnostics and a digest-stable
+    print→parse round-trip. Along the way each case probes the
+    Python-level use-after-consume guard with deliberately stale
+    handles and records a violation if the builder fails to raise.
+    """
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.violations: List[str] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _match(self, scope) -> None:
+        names = self.rng.choice(_FRONTEND_MATCH_NAMES)
+        if self.rng.random() < 0.15:
+            names = [names, self.rng.choice(_FRONTEND_MATCH_NAMES)]
+        position = self.rng.choice(("all", "first", "second", "last"))
+        scope.match(names, position=position)
+
+    def _probe_stale(self, scope, stale) -> None:
+        """A consumed handle must be rejected by the next use."""
+        try:
+            scope.use(stale)
+        except Exception as error:
+            from ..frontend.errors import ScheduleError
+            if not isinstance(error, ScheduleError):
+                self.violations.append(
+                    f"stale-handle probe raised {type(error).__name__}, "
+                    "expected ScheduleError"
+                )
+            return
+        self.violations.append(
+            "stale-handle probe: builder accepted a consumed handle"
+        )
+
+    def _consuming_action(self, scope) -> None:
+        stale = scope._cursor
+        kind = self.rng.choice(("tile", "split", "unroll", "peel",
+                                "to_library"))
+        if kind == "tile":
+            if self.rng.random() < 0.3:
+                sizes = scope.param(
+                    [self.rng.choice((2, 4, 8, 16)),
+                     self.rng.choice((2, 4, 8, 16))],
+                    binding=f"T{self.rng.randrange(100)}")
+                scope.tile(sizes=sizes,
+                           keep=self.rng.choice(("outer", "inner")))
+            else:
+                scope.tile(sizes=[self.rng.choice((2, 4, 8, 16, 32))],
+                           keep=self.rng.choice(("outer", "inner")))
+        elif kind == "split":
+            scope.split(self.rng.choice((2, 4, 8, 32)),
+                        keep=self.rng.choice(("main", "rest")))
+        elif kind == "unroll":
+            if self.rng.random() < 0.5:
+                scope.unroll(full=True)
+            else:
+                scope.unroll(self.rng.choice((2, 4, 8)))
+        elif kind == "peel":
+            scope.peel(keep=self.rng.choice(("main", "rest")))
+        else:
+            scope.to_library(self.rng.choice(("libxsmm", "blis")))
+        if stale is not None and not stale.live \
+                and self.rng.random() < 0.6:
+            self._probe_stale(scope, stale)
+
+    def _in_place_action(self, scope) -> None:
+        kind = self.rng.choice(("vectorize", "hoist", "annotate",
+                                "select", "pass", "print"))
+        if kind == "vectorize":
+            if self.rng.random() < 0.3:
+                width = scope.param(
+                    self.rng.choice((2, 4, 8)),
+                    binding=f"V{self.rng.randrange(100)}")
+                scope.vectorize(width)
+            else:
+                scope.vectorize(self.rng.choice((2, 4, 8, 16)))
+        elif kind == "hoist":
+            scope.hoist()
+        elif kind == "annotate":
+            scope.annotate("fuzz_tag", self.rng.randrange(16))
+        elif kind == "select":
+            scope.select(self.rng.choice(_FRONTEND_MATCH_NAMES))
+        elif kind == "pass":
+            scope.apply_registered_pass(
+                self.rng.choice(_FRONTEND_PASSES))
+        else:
+            scope.print_("fuzz")
+
+    def _fill_scope(self, scope, depth: int = 0) -> None:
+        self._match(scope)
+        for _ in range(self.rng.randrange(2, 6)):
+            if scope._cursor is None or not scope._cursor.live:
+                self._match(scope)
+            roll = self.rng.random()
+            if roll < 0.35:
+                self._consuming_action(scope)
+            elif roll < 0.85 or depth >= 1:
+                self._in_place_action(scope)
+            else:
+                regions = [
+                    (lambda nested: self._fill_scope(nested, depth + 1))
+                    if self.rng.random() < 0.7 else None
+                    for _ in range(self.rng.randrange(1, 3))
+                ]
+                if all(body is None for body in regions):
+                    regions[0] = (
+                        lambda nested: self._fill_scope(nested, depth + 1)
+                    )
+                scope.alternatives(*regions)
+
+    def build(self):
+        """One random schedule; returns the un-built Schedule."""
+        from ..frontend import Schedule
+
+        schedule = Schedule()
+        if self.rng.random() < 0.3:
+            name = f"helper_{self.rng.randrange(1000)}"
+
+            def body(scope):
+                self._fill_scope(scope, depth=1)
+
+            schedule.define(name, body)
+            self._match(schedule)
+            schedule.include(name)
+        self._fill_scope(schedule)
+        return schedule
+
+
+def run_frontend_case(case_seed: int
+                      ) -> Tuple[CaseOutcome, List[FuzzFailure]]:
+    """Build one random schedule through the builder and check the
+    frontend invariants."""
+    from ..analysis.lint import lint_script
+    from ..ir.diagnostics import Severity
+    from ..ir.hashing import op_digest
+    from ..ir.parser import parse
+
+    failures: List[FuzzFailure] = []
+    rng = random.Random(case_seed)
+    fuzzer = FrontendScheduleFuzzer(rng)
+    try:
+        schedule = fuzzer.build()
+        script = schedule.build()
+    except Exception as error:  # pragma: no cover - a found bug
+        failures.append(FuzzFailure(
+            case_seed, "frontend-containment",
+            f"builder raised {type(error).__name__}: {error}\n"
+            + traceback.format_exc(limit=8),
+        ))
+        return CaseOutcome("crash", str(error), ""), failures
+
+    for violation in fuzzer.violations:
+        failures.append(FuzzFailure(
+            case_seed, "frontend-use-after-consume", violation))
+
+    engine = lint_script(script)
+    errors = [d for d in engine.diagnostics
+              if d.severity is Severity.ERROR]
+    if errors:
+        failures.append(FuzzFailure(
+            case_seed, "frontend-lint-clean",
+            "builder-emitted script has error diagnostics: "
+            + "; ".join(str(d) for d in errors)
+            + "\n" + print_op(script),
+        ))
+
+    text = print_op(script)
+    if op_digest(parse(text, "<frontend-fuzz>")) != op_digest(script):
+        failures.append(FuzzFailure(
+            case_seed, "frontend-roundtrip",
+            "print->parse changed the structural digest\n" + text,
+        ))
+
+    kind = "clean" if not failures else "violated"
+    return CaseOutcome(kind, "", text), failures
+
+
+def run_frontend_fuzz(seed: int = 0, cases: int = 200) -> FuzzReport:
+    """Fuzz the schedule builder API (the ``--frontend`` mode)."""
+    report = FuzzReport(cases=cases)
+    for index in range(cases):
+        case_seed = seed * 1_000_003 + index
+        outcome, failures = run_frontend_case(case_seed)
+        report.outcomes[outcome.kind] += 1
+        report.failures.extend(failures)
+    return report
 
 
 if __name__ == "__main__":

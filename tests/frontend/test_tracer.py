@@ -1,0 +1,188 @@
+"""Payload tracing: Python -> repro.ir staging."""
+
+import pytest
+
+from repro import frontend as fe
+from repro.frontend import TraceError
+from repro.ir.hashing import op_digest
+from repro.ir.parser import parse
+from repro.ir.printer import print_op
+from repro.ir.types import F32, F64, INDEX, TensorType
+
+
+class TestScalarsAndLoops:
+    def test_range_loops_become_scf_for(self):
+        @fe.jit
+        def nest(n: fe.INDEX):
+            for i in range(0, 64, 1):
+                for j in range(32):
+                    t = (i + j) * i
+
+        text = nest.mlir
+        assert text.count('"scf.for"') == 2
+        assert '"arith.addi"' in text and '"arith.muli"' in text
+        assert '"func.func"' in text
+
+    def test_traced_range_bounds_from_arguments(self):
+        @fe.jit
+        def dynamic(n: fe.INDEX):
+            for i in range(n):
+                t = i + 1
+
+        loop = [op for op in dynamic.module.walk()
+                if op.name == "scf.for"][0]
+        # The upper bound is the function argument, not a constant.
+        assert loop.operands[1].defining_op() is None
+
+    def test_scalar_float_arithmetic(self):
+        @fe.jit
+        def scalars(x: F64, y: F64):
+            return (x + y) * x - y / x
+
+        text = scalars.mlir
+        for op in ("arith.addf", "arith.mulf", "arith.subf", "arith.divf"):
+            assert f'"{op}"' in text
+
+    def test_comparisons(self):
+        @fe.jit
+        def compare(i: fe.I64):
+            c = i < 4
+            return c
+
+        assert '"arith.cmpi"' in compare.mlir
+
+    def test_function_type_reflects_results(self):
+        @fe.jit
+        def identity(x: F64) -> F64:
+            return x
+
+        function = [op for op in identity.module.walk()
+                    if op.name == "func.func"][0]
+        assert function.function_type.results == (F64,)
+
+
+class TestTensors:
+    def test_tensor_annotation(self):
+        assert fe.Tensor[4, 8] == TensorType((4, 8), F32)
+        assert fe.Tensor[4, 8, F64] == TensorType((4, 8), F64)
+
+    def test_matmul_shape_inference(self):
+        @fe.jit
+        def mm(a: fe.Tensor[4, 8], b: fe.Tensor[8, 16]):
+            return fe.ops.matmul(a, b)
+
+        assert "tensor<4x16xf32>" in mm.mlir
+
+    def test_matmul_shape_mismatch(self):
+        @fe.jit
+        def bad(a: fe.Tensor[4, 8], b: fe.Tensor[4, 8]):
+            return fe.ops.matmul(a, b)
+
+        with pytest.raises(TraceError, match="shape mismatch"):
+            bad.trace()
+
+    def test_elementwise_and_reduce(self):
+        @fe.jit
+        def graph(x: fe.Tensor[8, 8]):
+            y = fe.ops.tanh(x * x)
+            return fe.ops.reduce_sum(y, axis=1)
+
+        text = graph.mlir
+        assert '"tosa.mul"' in text and '"tosa.tanh"' in text
+        assert "tensor<8x1xf32>" in text
+
+    def test_transpose_and_reshape(self):
+        @fe.jit
+        def shapes(x: fe.Tensor[2, 6]):
+            t = fe.ops.transpose(x, [1, 0])
+            return fe.ops.reshape(t, [3, 4])
+
+        assert "tensor<6x2xf32>" in shapes.mlir
+        assert "tensor<3x4xf32>" in shapes.mlir
+
+    def test_reshape_conserves_elements(self):
+        @fe.jit
+        def bad(x: fe.Tensor[2, 6]):
+            return fe.ops.reshape(x, [5, 5])
+
+        with pytest.raises(TraceError, match="element count"):
+            bad.trace()
+
+
+class TestRestrictions:
+    def test_data_dependent_branch_rejected(self):
+        @fe.jit
+        def branchy(x: F64):
+            if x > 1.0:
+                return x
+            return x + 1.0
+
+        with pytest.raises(TraceError, match="control flow"):
+            branchy.trace()
+
+    def test_loop_escape_rejected(self):
+        @fe.jit
+        def escape(n: fe.INDEX):
+            last = None
+            for i in range(8):
+                last = i + 1
+            return last
+
+        with pytest.raises(TraceError, match="after the loop"):
+            escape.trace()
+
+    def test_missing_annotation_rejected(self):
+        @fe.jit
+        def bare(x):
+            return x
+
+        with pytest.raises(TraceError, match="annotation"):
+            bare.trace()
+
+    def test_return_annotation_mismatch(self):
+        @fe.jit
+        def wrong(x: F64) -> INDEX:
+            return x
+
+        with pytest.raises(TraceError, match="declares result types"):
+            wrong.trace()
+
+    def test_calling_a_traced_function_with_args(self):
+        @fe.jit
+        def f(x: F64):
+            return x
+
+        with pytest.raises(TraceError, match="staged"):
+            f(1.0)
+
+    def test_ops_outside_trace_rejected(self):
+        with pytest.raises(TraceError, match="being traced"):
+            fe.ops.const((4, 4))
+
+
+class TestDigestStability:
+    def test_traced_module_roundtrips(self):
+        @fe.jit
+        def nest(n: fe.INDEX):
+            for i in range(16):
+                t = i * i
+
+        module = nest.module
+        reparsed = parse(print_op(module), "<again>")
+        assert op_digest(reparsed) == op_digest(module)
+        assert nest.digest == op_digest(module)
+
+    def test_fresh_traces_are_digest_identical(self):
+        @fe.jit
+        def nest(n: fe.INDEX):
+            for i in range(16):
+                t = i + 2
+
+        assert op_digest(nest.trace()) == op_digest(nest.trace())
+
+    def test_traced_module_verifies(self):
+        @fe.jit
+        def graph(x: fe.Tensor[4, 4]):
+            return fe.ops.tanh(x)
+
+        graph.module.verify()
